@@ -1,0 +1,57 @@
+"""Ablation: unrestricted vs restricted coefficient values in the DP.
+
+The paper's footnote 2 chooses MinHaarSpace *for unrestricted wavelets* —
+coefficients may take arbitrary values instead of their original Haar
+values.  This ablation quantifies what that choice buys: for the same
+error bound the unrestricted DP needs fewer coefficients, and under
+IndirectHaar's budgeted search it reaches lower errors.  Both variants
+run through the same Section 4 framework (the second instantiation of
+the row algebra).
+"""
+
+from conftest import run_once
+from repro.algos import indirect_haar, min_haar_space, min_haar_space_restricted
+from repro.bench import print_table
+from repro.data import nyct_dataset
+
+
+def regenerate_unrestricted_ablation(settings, log_n=10):
+    n = 1 << log_n
+    data = nyct_dataset(n, seed=settings.seed)
+    delta = float(data.max()) / 200.0
+    size_rows = []
+    for epsilon_factor in (0.05, 0.1, 0.2):
+        epsilon = float(data.max()) * epsilon_factor
+        unrestricted = min_haar_space(data, epsilon, delta)
+        restricted = min_haar_space_restricted(data, epsilon, delta)
+        size_rows.append(
+            {
+                "epsilon": epsilon,
+                "unrestricted size": unrestricted.size,
+                "restricted size": restricted.size,
+                "saving": 1.0 - unrestricted.size / max(restricted.size, 1),
+            }
+        )
+    error_rows = []
+    for divisor in (16, 8):
+        budget = n // divisor
+        unrestricted = indirect_haar(data, budget, delta).max_abs_error(data)
+        restricted = indirect_haar(data, budget, delta, restricted=True).max_abs_error(data)
+        error_rows.append(
+            {
+                "B": f"N/{divisor}",
+                "unrestricted err": unrestricted,
+                "restricted err": restricted,
+            }
+        )
+    print_table(f"Ablation: dual-problem sizes, unrestricted vs restricted (N={n})", size_rows)
+    print_table("Ablation: IndirectHaar errors, unrestricted vs restricted", error_rows)
+    return size_rows, error_rows
+
+
+def bench_ablation_unrestricted(benchmark, settings):
+    size_rows, error_rows = run_once(benchmark, regenerate_unrestricted_ablation, settings)
+    for row in size_rows:
+        assert row["unrestricted size"] <= row["restricted size"]
+    for row in error_rows:
+        assert row["unrestricted err"] <= row["restricted err"] * 1.05 + 1e-9

@@ -1,0 +1,53 @@
+"""Figure 5a: running time vs sub-tree size.
+
+The paper's claim: the size of the local sub-problems does **not**
+significantly affect either algorithm's running time (verifying the
+Section 5.3 complexity analysis), except at the extremes where tiny
+partitions drown in per-task overhead.
+"""
+
+from conftest import run_once
+from repro.bench import measure_distributed, print_table
+from repro.core import d_greedy_abs, d_indirect_haar
+from repro.data import uniform_dataset
+
+
+def regenerate_fig5a(settings, log_n=13, subtree_logs=(7, 8, 9, 10)):
+    n = 1 << log_n
+    budget = n // 8
+    data = uniform_dataset(n, (0, 1000), seed=settings.seed)
+    rows = []
+    for log_leaves in subtree_logs:
+        leaves = 1 << log_leaves
+        greedy = measure_distributed(
+            "DGreedyAbs",
+            n,
+            lambda c, leaves=leaves: d_greedy_abs(data, budget, c, base_leaves=leaves, bucket_width=settings.bucket_width),
+            settings.cluster(),
+        )
+        dp = measure_distributed(
+            "DIndirectHaar",
+            n,
+            lambda c, leaves=leaves: d_indirect_haar(
+                data, budget, delta=50.0, cluster=c, subtree_leaves=leaves
+            ),
+            settings.cluster(),
+        )
+        rows.append(
+            {
+                "sub-tree size": leaves,
+                "DGreedyAbs (s)": greedy.seconds,
+                "DIndirectHaar (s)": dp.seconds,
+            }
+        )
+    print_table(f"Figure 5a: runtime vs sub-tree size (N={n}, B=N/8)", rows)
+    return rows
+
+
+def bench_fig5a(benchmark, settings):
+    rows = run_once(benchmark, regenerate_fig5a, settings)
+    # Claim: runtime is flat-ish in the sub-tree size (well within an order
+    # of magnitude across an 8x size sweep).
+    for algo in ("DGreedyAbs (s)", "DIndirectHaar (s)"):
+        times = [row[algo] for row in rows]
+        assert max(times) / min(times) < 5.0

@@ -1,0 +1,53 @@
+"""Figure 5b: running time vs budget space B.
+
+Claims: DGreedyAbs's running time is essentially unaffected by B;
+DIndirectHaar's is non-monotone in B (larger budgets tighten the error
+bracket and can *reduce* the number of binary-search probes).
+"""
+
+from conftest import run_once
+from repro.bench import measure_distributed, print_table
+from repro.core import d_greedy_abs, d_indirect_haar
+from repro.data import uniform_dataset
+
+
+def regenerate_fig5b(settings, log_n=13, divisors=(64, 32, 16, 8)):
+    n = 1 << log_n
+    data = uniform_dataset(n, (0, 1000), seed=settings.seed)
+    rows = []
+    for divisor in divisors:
+        budget = n // divisor
+        greedy = measure_distributed(
+            "DGreedyAbs",
+            n,
+            lambda c, budget=budget: d_greedy_abs(
+                data, budget, c, base_leaves=settings.subtree_leaves,
+                bucket_width=settings.bucket_width,
+            ),
+            settings.cluster(),
+        )
+        dp = measure_distributed(
+            "DIndirectHaar",
+            n,
+            lambda c, budget=budget: d_indirect_haar(
+                data, budget, delta=50.0, cluster=c, subtree_leaves=settings.subtree_leaves
+            ),
+            settings.cluster(),
+        )
+        rows.append(
+            {
+                "B": f"N/{divisor}",
+                "DGreedyAbs (s)": greedy.seconds,
+                "DIndirectHaar (s)": dp.seconds,
+                "DP probes": dp.extra["result"].meta["dp_runs"],
+            }
+        )
+    print_table(f"Figure 5b: runtime vs budget (N={n})", rows)
+    return rows
+
+
+def bench_fig5b(benchmark, settings):
+    rows = run_once(benchmark, regenerate_fig5b, settings)
+    greedy_times = [row["DGreedyAbs (s)"] for row in rows]
+    # Claim: DGreedyAbs is not considerably affected by the synopsis size.
+    assert max(greedy_times) / min(greedy_times) < 3.0

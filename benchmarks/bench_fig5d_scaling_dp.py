@@ -1,0 +1,77 @@
+"""Figure 5d: DIndirectHaar vs IndirectHaar — data size and cluster capacity.
+
+Claims reproduced:
+
+* IndirectHaar (centralized) is *faster* at small sizes — the whole
+  dataset fits in memory and the many binary-search probes pay no job
+  startup overhead, while DIndirectHaar launches several jobs per probe;
+* past the single-machine memory budget only DIndirectHaar keeps running;
+* with enough data, parallelizing the DP wins (2.7x on NYCT at 17M in
+  the paper).
+
+As in bench_fig5c, each workload is measured once and re-priced per slot
+count with :func:`repro.mapreduce.price_log`.
+"""
+
+from conftest import run_once
+from repro.algos import indirect_haar
+from repro.bench import (
+    GREEDY_BYTES_PER_POINT,
+    measure_centralized,
+    measure_distributed,
+    print_table,
+)
+from repro.core import d_indirect_haar
+from repro.data import uniform_dataset
+from repro.mapreduce import price_log
+
+
+def regenerate_fig5d(settings, max_doublings=4, slot_counts=(10, 40), delta=50.0):
+    memory = settings.memory_model()
+    rows = []
+    for k in range(max_doublings + 1):
+        n = settings.unit * (1 << k)
+        budget = n // 8
+        data = uniform_dataset(n, (0, 1000), seed=settings.seed)
+        row = {"size": settings.label(n)}
+        reference = settings.cluster()
+        measure_distributed(
+            "DIndirectHaar",
+            n,
+            lambda c: d_indirect_haar(
+                data, budget, delta=delta, cluster=c, subtree_leaves=settings.subtree_leaves
+            ),
+            reference,
+        )
+        for slots in slot_counts:
+            row[f"DIndirectHaar m={slots} (s)"] = price_log(
+                reference.log, settings.cluster_config.scaled(map_slots=slots)
+            )
+        cent = measure_centralized(
+            "IndirectHaar",
+            n,
+            lambda: indirect_haar(data, budget, delta=delta),
+            memory,
+            required_bytes=n * GREEDY_BYTES_PER_POINT,
+        )
+        row["IndirectHaar (s)"] = None if cent.oom else cent.seconds
+        row["note"] = "OOM" if cent.oom else ""
+        rows.append(row)
+    print_table("Figure 5d: DIndirectHaar vs IndirectHaar scalability", rows)
+    return rows
+
+
+def bench_fig5d(benchmark, settings):
+    rows = run_once(benchmark, regenerate_fig5d, settings)
+    # Centralized wins at the smallest size (job overheads dominate) ...
+    assert rows[0]["IndirectHaar (s)"] < rows[0]["DIndirectHaar m=40 (s)"]
+    # ... but OOMs past the single-machine budget while distributed runs on.
+    assert rows[-1]["note"] == "OOM"
+    assert rows[-1]["DIndirectHaar m=40 (s)"] is not None
+    # Fewer slots cost more at scale (deterministic via re-pricing).
+    big = rows[-1]
+    assert big["DIndirectHaar m=10 (s)"] > big["DIndirectHaar m=40 (s)"]
+    # At the largest size both can run, the distributed DP has caught up
+    # to (or overtaken) the centralized one.
+    both = [r for r in rows if r["note"] != "OOM"]
+    assert both[-1]["DIndirectHaar m=40 (s)"] < both[-1]["IndirectHaar (s)"] * 1.5

@@ -1,0 +1,108 @@
+"""Figure 9: direct comparison on the WD dataset (B = N/8, δ=20-equiv).
+
+Claims reproduced:
+
+* WD's smooth sensor series approximates about 5x better than NYCT
+  (compare against bench_fig8's errors);
+* IndirectHaar (centralized) beats DIndirectHaar on the small partitions
+  — the DP is cheap here, so job overhead dominates;
+* DGreedyAbs matches GreedyAbs's error and clearly beats CON (2.6x in
+  the paper).
+"""
+
+from conftest import run_once
+from repro.algos import greedy_abs, indirect_haar
+from repro.bench import (
+    GREEDY_BYTES_PER_POINT,
+    measure_centralized,
+    measure_distributed,
+    print_table,
+)
+from repro.core import con_synopsis, d_greedy_abs, d_indirect_haar
+from repro.data import nyct_dataset, wd_partitions
+
+DELTA = 20.0
+
+
+def regenerate_fig9(settings, doublings=4):
+    memory = settings.memory_model()
+    partitions = wd_partitions(settings.unit, doublings=doublings, seed=settings.seed)
+    time_rows, error_rows = [], []
+    for label, data in partitions.items():
+        n = len(data)
+        budget = n // 8
+        leaves = min(settings.subtree_leaves, n // 4)
+        bucket = max(float(data.max()) / 1e4, 1e-6)
+
+        dgreedy = measure_distributed(
+            "DGreedyAbs",
+            n,
+            lambda c: d_greedy_abs(data, budget, c, base_leaves=leaves, bucket_width=bucket),
+            settings.cluster(),
+        )
+        ddp = measure_distributed(
+            "DIndirectHaar",
+            n,
+            lambda c: d_indirect_haar(data, budget, delta=DELTA, cluster=c, subtree_leaves=leaves),
+            settings.cluster(),
+        )
+        con = measure_distributed(
+            "CON",
+            n,
+            lambda c: con_synopsis(data, budget, c, split_size=leaves),
+            settings.cluster(),
+        )
+        cgreedy = measure_centralized(
+            "GreedyAbs",
+            n,
+            lambda: greedy_abs(data, budget),
+            memory,
+            required_bytes=n * GREEDY_BYTES_PER_POINT,
+        )
+        cdp = measure_centralized(
+            "IndirectHaar",
+            n,
+            lambda: indirect_haar(data, budget, delta=DELTA),
+            memory,
+            required_bytes=n * GREEDY_BYTES_PER_POINT,
+        )
+        time_rows.append(
+            {
+                "size": label,
+                "GreedyAbs": None if cgreedy.oom else cgreedy.seconds,
+                "DGreedyAbs": dgreedy.seconds,
+                "IndirectHaar": None if cdp.oom else cdp.seconds,
+                "DIndirectHaar": ddp.seconds,
+                "CON": con.seconds,
+            }
+        )
+        error_rows.append(
+            {
+                "size": label,
+                "GreedyAbs err": None
+                if cgreedy.oom
+                else cgreedy.extra["result"].max_abs_error(data),
+                "DGreedyAbs err": dgreedy.extra["result"].max_abs_error(data),
+                "DIndirectHaar err": ddp.extra["result"].max_abs_error(data),
+                "CON err": con.extra["result"].max_abs_error(data),
+            }
+        )
+    print_table("Figure 9a: WD running times (seconds)", time_rows)
+    print_table("Figure 9b: WD max-abs errors", error_rows)
+    return time_rows, error_rows
+
+
+def bench_fig9(benchmark, settings):
+    time_rows, error_rows = run_once(benchmark, regenerate_fig9, settings)
+    # IndirectHaar beats DIndirectHaar on the smallest partition (job
+    # overhead dominates when the DP itself is cheap).
+    assert time_rows[0]["IndirectHaar"] < time_rows[0]["DIndirectHaar"]
+    for row in error_rows:
+        if row["GreedyAbs err"] is not None:
+            assert row["DGreedyAbs err"] <= row["GreedyAbs err"] * 1.05
+        assert row["DGreedyAbs err"] < row["CON err"]
+    # WD approximates several times better than equally sized NYCT data.
+    n = len(next(iter(wd_partitions(settings.unit, 1, settings.seed).values())))
+    nyct = nyct_dataset(n, seed=settings.seed)
+    nyct_err = greedy_abs(nyct, n // 8).max_abs_error(nyct)
+    assert error_rows[0]["DGreedyAbs err"] < nyct_err / 2

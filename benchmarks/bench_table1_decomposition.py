@@ -1,0 +1,49 @@
+"""Table 1: the wavelet decomposition example.
+
+Regenerates the paper's resolution-by-resolution decomposition of
+A = [5, 5, 0, 26, 1, 3, 14, 2] and benchmarks the transform throughput on
+a realistically sized array.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.bench import print_table
+from repro.wavelet import decomposition_steps, haar_transform, inverse_haar_transform
+
+PAPER_DATA = [5, 5, 0, 26, 1, 3, 14, 2]
+PAPER_TRANSFORM = [7.0, 2.0, -4.0, -3.0, 0.0, -13.0, -1.0, 6.0]
+
+
+def regenerate_table1():
+    rows = [
+        {
+            "Resolution": 3,
+            "Averages": str(PAPER_DATA),
+            "Detail Coef.": "-",
+        }
+    ]
+    steps = decomposition_steps(PAPER_DATA)
+    for i, (averages, details) in enumerate(steps):
+        rows.append(
+            {
+                "Resolution": 2 - i,
+                "Averages": str([int(v) if v == int(v) else v for v in averages]),
+                "Detail Coef.": str([int(v) if v == int(v) else v for v in details]),
+            }
+        )
+    print_table("Table 1: wavelet decomposition example", rows)
+    return rows
+
+
+def bench_table1(benchmark):
+    rows = run_once(benchmark, regenerate_table1)
+    assert len(rows) == 4
+    # The decomposition itself matches the paper exactly.
+    assert haar_transform(PAPER_DATA).tolist() == PAPER_TRANSFORM
+
+
+def bench_transform_throughput(benchmark):
+    data = np.random.default_rng(0).uniform(0, 1000, size=1 << 18)
+    result = benchmark(haar_transform, data)
+    np.testing.assert_allclose(inverse_haar_transform(result), data, atol=1e-8)

@@ -1,0 +1,60 @@
+"""Table 3: characteristics of the NYCT and WD dataset families.
+
+Generates the scaled surrogate partitions and prints their statistics
+next to the paper's values.  Absolute record counts are scaled
+(unit == "2M"); the *patterns* — NYCT's halving means and 32M+ max/stdv
+blow-up, WD's homogeneity — are what the substitution must preserve.
+"""
+
+from conftest import run_once
+from repro.bench import print_table
+from repro.data import NYCT_TABLE3, WD_TABLE3, describe, nyct_partitions, wd_partitions
+
+
+def regenerate_table3(unit=1 << 11, seed=7):
+    rows = []
+    for label, data in nyct_partitions(unit, doublings=6, seed=seed).items():
+        stats = describe(data)
+        _, paper_avg, paper_std, paper_max = NYCT_TABLE3[label]
+        rows.append(
+            {
+                "Name": label,
+                "#Records": stats["records"],
+                "Avg": stats["avg"],
+                "Stdv": stats["stdv"],
+                "Max": stats["max"],
+                "paper Avg": paper_avg,
+                "paper Stdv": paper_std,
+                "paper Max": paper_max,
+            }
+        )
+    for label, data in wd_partitions(unit, doublings=4, seed=seed).items():
+        stats = describe(data)
+        _, paper_avg, paper_std, paper_max = WD_TABLE3[label]
+        rows.append(
+            {
+                "Name": label,
+                "#Records": stats["records"],
+                "Avg": stats["avg"],
+                "Stdv": stats["stdv"],
+                "Max": stats["max"],
+                "paper Avg": paper_avg,
+                "paper Stdv": paper_std,
+                "paper Max": paper_max,
+            }
+        )
+    print_table("Table 3: dataset characteristics (scaled surrogates)", rows)
+    return rows
+
+
+def bench_table3(benchmark):
+    rows = run_once(benchmark, regenerate_table3)
+    by_name = {row["Name"]: row for row in rows}
+    # NYCT: the mean halves with each doubling once the real prefix is frozen.
+    assert by_name["NYCT8M"]["Avg"] > 1.5 * by_name["NYCT16M"]["Avg"]
+    # NYCT 32M+: corrupt records blow up max and stdv (Table 3's pattern).
+    assert by_name["NYCT32M"]["Max"] > 1e6 >= by_name["NYCT16M"]["Max"]
+    assert by_name["NYCT32M"]["Stdv"] > 5 * by_name["NYCT16M"]["Stdv"]
+    # WD: homogeneous across partitions, bounded azimuth.
+    assert by_name["WD16M"]["Max"] <= 655
+    assert abs(by_name["WD2M"]["Avg"] - by_name["WD16M"]["Avg"]) < 60

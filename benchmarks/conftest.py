@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at laptop
+scale (see DESIGN.md §4 for the per-experiment index and §3 for how the
+scaled sizes map onto the paper's axes), prints the paper-shaped rows,
+and asserts the *shape* of the paper's claim — who wins, roughly by how
+much, where crossovers fall.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.bench import BenchSettings  # noqa: E402
+from repro.mapreduce import ClusterConfig  # noqa: E402
+
+
+@pytest.fixture
+def settings() -> BenchSettings:
+    """Scaled-down defaults: unit 2^11 points == the paper's "2M" rows."""
+    return BenchSettings(
+        unit=1 << 11,
+        centralized_memory_points=1 << 14,  # "17M"-equivalent single machine
+        # Startup overheads keep Hadoop's *ratio* to typical task times:
+        # our tasks run ~10-500 ms where Hadoop's ran tens of seconds.
+        cluster_config=ClusterConfig(
+            map_slots=40,
+            reduce_slots=16,
+            task_startup_seconds=0.01,
+            job_startup_seconds=0.2,
+        ),
+        subtree_leaves=1 << 9,
+        seed=7,
+        bucket_width=1.0,
+    )
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

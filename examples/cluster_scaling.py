@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Cluster-scaling behaviour of the distributed algorithms (Figure 5 story).
+
+Shows the two structural effects the paper's scalability section hinges
+on, using the simulated Hadoop cluster:
+
+* with spare map slots, runtime is nearly flat in N (everything runs in
+  parallel); once the slots saturate, runtime grows linearly;
+* halving the cluster roughly doubles DGreedyAbs's runtime.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.core import d_greedy_abs
+from repro.data import uniform_dataset
+from repro.mapreduce import ClusterConfig, SimulatedCluster
+
+
+def sweep_data_size():
+    rows = []
+    for log_n in range(12, 16):
+        n = 1 << log_n
+        data = uniform_dataset(n, (0, 1000), seed=1)
+        cluster = SimulatedCluster(ClusterConfig(map_slots=40))
+        d_greedy_abs(data, n // 8, cluster, base_leaves=1024, bucket_width=1.0)
+        rows.append(
+            {
+                "N": n,
+                "map tasks": n // 1024,
+                "simulated seconds": cluster.simulated_seconds,
+            }
+        )
+    print_table("Runtime vs data size (40 map slots)", rows)
+    print("(flat while tasks <= slots, then linear — Figure 5c's shape)")
+
+
+def sweep_cluster_size():
+    from repro.mapreduce import price_log
+
+    n = 1 << 15
+    data = uniform_dataset(n, (0, 1000), seed=2)
+    # Measure the workload once, then re-price the same job log under
+    # different capacities — the noise-free way to sweep cluster sizes.
+    reference = SimulatedCluster(ClusterConfig(map_slots=40))
+    d_greedy_abs(data, n // 8, reference, base_leaves=1024, bucket_width=1.0)
+    rows = [
+        {
+            "map slots": slots,
+            "simulated seconds": price_log(
+                reference.log, ClusterConfig(map_slots=slots)
+            ),
+        }
+        for slots in (40, 20, 10)
+    ]
+    print_table(f"Runtime vs cluster capacity (N={n})", rows)
+    print("(shrinking the slot pool slows the map phase proportionally)")
+
+
+if __name__ == "__main__":
+    np.random.seed(0)
+    sweep_data_size()
+    sweep_cluster_size()

@@ -1,0 +1,62 @@
+"""The conventional (L2-optimal) thresholding scheme (Section 2.3).
+
+Retains the ``B`` coefficients with the greatest significance
+``c_i* = |c_i| / sqrt(2**level(c_i))``; provably minimizes the L2 error
+but offers no maximum-error guarantee.  Serves as the quality baseline of
+Figures 8b/9b and as the shared output of the four parallel algorithms of
+Appendix A (CON, Send-V, Send-Coef, H-WTopk).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidInputError
+from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.transform import haar_transform, normalized_significance
+
+__all__ = ["conventional_synopsis", "top_b_indices", "largest_coefficient"]
+
+
+def top_b_indices(coefficients, budget: int) -> list[int]:
+    """Indices of the ``budget`` most significant coefficients.
+
+    Ties break on the lower index, keeping every implementation of the
+    conventional synopsis (centralized and all four distributed
+    algorithms) byte-identical.
+    """
+    if budget < 0:
+        raise InvalidInputError("budget must be non-negative")
+    significance = normalized_significance(coefficients)
+    order = sorted(range(len(significance)), key=lambda i: (-significance[i], i))
+    return sorted(order[:budget])
+
+
+def conventional_synopsis(data, budget: int) -> WaveletSynopsis:
+    """Centralized conventional synopsis: top-``budget`` by significance."""
+    values = np.asarray(data, dtype=np.float64)
+    coefficients = haar_transform(values)
+    retained = {
+        index: float(coefficients[index])
+        for index in top_b_indices(coefficients, budget)
+        if coefficients[index] != 0.0
+    }
+    return WaveletSynopsis(
+        n=int(values.shape[0]),
+        coefficients=retained,
+        meta={"algorithm": "CONV", "budget": budget},
+    )
+
+
+def largest_coefficient(coefficients, rank: int) -> float:
+    """Magnitude of the ``rank``-th largest coefficient (1-based).
+
+    IndirectHaar's error lower bound is the ``(B+1)``-largest coefficient
+    (Algorithm 2, line 2).  Returns 0.0 when ``rank`` exceeds the array.
+    """
+    if rank <= 0:
+        raise InvalidInputError("rank must be positive")
+    magnitudes = np.sort(np.abs(np.asarray(coefficients, dtype=np.float64)))[::-1]
+    if rank > magnitudes.shape[0]:
+        return 0.0
+    return float(magnitudes[rank - 1])

@@ -1,0 +1,265 @@
+"""GreedyAbs: one-pass greedy thresholding for maximum *absolute* error.
+
+Reimplementation of Karras & Mamoulis (VLDB'05) as described in
+Section 5.1 of the paper.  The algorithm repeatedly discards the
+coefficient whose removal incurs the smallest *maximum potential absolute
+error* ``MA_k`` (Eq. 7/8), maintaining for every internal node only four
+quantities — the max/min signed errors of its left and right leaf sets —
+and an addressable min-heap over the ``MA`` values.
+
+Because the maximum absolute error is not monotone under removals, the
+algorithm keeps discarding past the budget ``B`` and returns the best of
+the last ``B + 1`` states (end of Section 5.1).
+
+The same engine runs in three roles for the distributed algorithm
+(Section 5.2):
+
+* the whole error tree (centralized GreedyAbs),
+* a *base sub-tree* seeded with a uniform incoming error,
+* the *root sub-tree* over one virtual leaf per base sub-tree.
+
+All three are complete binary trees over ``m`` leaves with coefficient
+slots ``1 .. m-1`` (plus the overall average in slot ``0`` when the tree
+is the whole decomposition), which is exactly what
+:class:`GreedyAbsTree` models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algos.heap import AddressableMinHeap
+from repro.exceptions import InvalidInputError
+from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.transform import haar_transform, is_power_of_two
+
+__all__ = ["Removal", "GreedyRun", "GreedyAbsTree", "greedy_abs", "greedy_abs_order"]
+
+
+@dataclass(frozen=True)
+class Removal:
+    """One discard step: which node went, and the tree-wide error after."""
+
+    node: int
+    value: float
+    error_after: float
+
+
+@dataclass
+class GreedyRun:
+    """The full removal sequence of one greedy execution."""
+
+    removals: list[Removal]
+    initial_error: float
+
+    def error_at_step(self, step: int) -> float:
+        """Tree-wide max error after ``step`` removals (0 = none)."""
+        if step == 0:
+            return self.initial_error
+        return self.removals[step - 1].error_after
+
+    def best_cut(self, budget: int) -> tuple[int, float]:
+        """Pick the best of the last ``budget + 1`` states.
+
+        Returns ``(step, error)`` where the synopsis keeps everything
+        removed *after* ``step``.  Ties prefer the smaller synopsis.
+        """
+        total = len(self.removals)
+        first = max(0, total - budget)
+        best_step, best_error = first, self.error_at_step(first)
+        for step in range(first + 1, total + 1):
+            error = self.error_at_step(step)
+            if error <= best_error:
+                best_step, best_error = step, error
+        return best_step, best_error
+
+
+class GreedyAbsTree:
+    """Greedy discard engine over one complete error (sub-)tree.
+
+    Parameters
+    ----------
+    coefficients:
+        Array of length ``m`` (a power of two).  Slot ``j`` for
+        ``1 <= j < m`` is the detail coefficient of local node ``j``;
+        slot ``0`` is the overall average, used only when
+        ``include_average`` is True (base sub-trees have no average slot).
+    initial_errors:
+        Signed accumulated error ``err_i`` per leaf before any local
+        removal — the *incoming error* a base sub-tree inherits from
+        discarded ancestors (Section 5.2).  Defaults to all zeros.
+    include_average:
+        Whether slot 0 participates (True for whole decompositions).
+    """
+
+    def __init__(self, coefficients, initial_errors=None, include_average: bool = True):
+        coeffs = np.asarray(coefficients, dtype=np.float64)
+        if coeffs.ndim != 1 or not is_power_of_two(coeffs.shape[0]):
+            raise InvalidInputError("coefficient array length must be a power of two")
+        self.m = int(coeffs.shape[0])
+        self.coefficients = coeffs.tolist()
+        self.include_average = include_average
+
+        if initial_errors is None:
+            errors = [0.0] * self.m
+        else:
+            errors = [float(e) for e in initial_errors]
+            if len(errors) != self.m:
+                raise InvalidInputError("initial_errors length must equal tree size")
+
+        m = self.m
+        self._single_leaf_error = errors[0] if m == 1 else 0.0
+        self.max_left = [0.0] * m
+        self.min_left = [0.0] * m
+        self.max_right = [0.0] * m
+        self.min_right = [0.0] * m
+        for j in range(m // 2, m):
+            self.max_left[j] = self.min_left[j] = errors[2 * j - m]
+            self.max_right[j] = self.min_right[j] = errors[2 * j + 1 - m]
+        for j in range(m // 2 - 1, 0, -1):
+            self._recompute_quantities(j)
+
+        self.heap = AddressableMinHeap()
+        for j in range(1, m):
+            self.heap.push(j, self._ma(j))
+        if include_average:
+            self.heap.push(0, self._ma_average())
+
+    # -- potential error computations -------------------------------------
+
+    def _ma(self, j: int) -> float:
+        c = self.coefficients[j]
+        return max(
+            abs(self.max_left[j] - c),
+            abs(self.min_left[j] - c),
+            abs(self.max_right[j] + c),
+            abs(self.min_right[j] + c),
+        )
+
+    def _ma_average(self) -> float:
+        c = self.coefficients[0]
+        if self.m == 1:
+            err = self._single_leaf_error
+            return abs(err - c)
+        high = max(self.max_left[1], self.max_right[1])
+        low = min(self.min_left[1], self.min_right[1])
+        return max(abs(high - c), abs(low - c))
+
+    def _recompute_quantities(self, j: int) -> None:
+        left, right = 2 * j, 2 * j + 1
+        self.max_left[j] = max(self.max_left[left], self.max_right[left])
+        self.min_left[j] = min(self.min_left[left], self.min_right[left])
+        self.max_right[j] = max(self.max_left[right], self.max_right[right])
+        self.min_right[j] = min(self.min_left[right], self.min_right[right])
+
+    def current_error(self) -> float:
+        """Tree-wide maximum absolute error of the running synopsis."""
+        if self.m == 1:
+            return abs(self._single_leaf_error)
+        return max(
+            abs(self.max_left[1]),
+            abs(self.min_left[1]),
+            abs(self.max_right[1]),
+            abs(self.min_right[1]),
+        )
+
+    # -- removal ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def remove_next(self) -> Removal:
+        """Discard the node with minimum ``MA`` and update the tree."""
+        k, _ = self.heap.pop()
+        value = self.coefficients[k]
+        if k == 0:
+            self._remove_average(value)
+        else:
+            self._remove_detail(k, value)
+        return Removal(node=k, value=value, error_after=self.current_error())
+
+    def _remove_average(self, c: float) -> None:
+        if self.m == 1:
+            self._single_leaf_error -= c
+            return
+        for j in range(1, self.m):
+            self.max_left[j] -= c
+            self.min_left[j] -= c
+            self.max_right[j] -= c
+            self.min_right[j] -= c
+            if j in self.heap:
+                self.heap.update(j, self._ma(j))
+
+    def _remove_detail(self, k: int, c: float) -> None:
+        m = self.m
+        heap = self.heap
+        # The removed node's own leaves shift: left -c, right +c.
+        self.max_left[k] -= c
+        self.min_left[k] -= c
+        self.max_right[k] += c
+        self.min_right[k] += c
+
+        # Descendants: whole sub-trees shift uniformly (left -c, right +c);
+        # every alive descendant's MA must be refreshed (Section 5.1).
+        if 2 * k < m:
+            stack = [(2 * k, -c), (2 * k + 1, c)]
+            while stack:
+                j, delta = stack.pop()
+                self.max_left[j] += delta
+                self.min_left[j] += delta
+                self.max_right[j] += delta
+                self.min_right[j] += delta
+                if j in heap:
+                    heap.update(j, self._ma(j))
+                child = 2 * j
+                if child < m:
+                    stack.append((child, delta))
+                    stack.append((child + 1, delta))
+
+        # Ancestors: recompute the four quantities bottom-up and refresh MA.
+        j = k // 2
+        while j >= 1:
+            self._recompute_quantities(j)
+            if j in heap:
+                heap.update(j, self._ma(j))
+            j //= 2
+        if self.include_average and 0 in heap:
+            heap.update(0, self._ma_average())
+
+    def run_to_exhaustion(self) -> GreedyRun:
+        """Discard every node; return the ordered removal sequence."""
+        initial = self.current_error()
+        removals = []
+        while len(self.heap):
+            removals.append(self.remove_next())
+        return GreedyRun(removals=removals, initial_error=initial)
+
+
+def greedy_abs_order(
+    coefficients, initial_errors=None, include_average: bool = True
+) -> GreedyRun:
+    """Run the greedy engine to exhaustion over one (sub-)tree."""
+    tree = GreedyAbsTree(coefficients, initial_errors, include_average)
+    return tree.run_to_exhaustion()
+
+
+def greedy_abs(data, budget: int) -> WaveletSynopsis:
+    """Centralized GreedyAbs: best max-abs synopsis within ``budget``.
+
+    Computes the full decomposition, discards greedily until the tree is
+    empty, and keeps the best of the last ``budget + 1`` coefficient sets.
+    """
+    if budget < 0:
+        raise InvalidInputError("budget must be non-negative")
+    values = np.asarray(data, dtype=np.float64)
+    coefficients = haar_transform(values)
+    run = greedy_abs_order(coefficients)
+    step, error = run.best_cut(budget)
+    retained = {r.node: r.value for r in run.removals[step:]}
+    return WaveletSynopsis(
+        n=int(values.shape[0]),
+        coefficients=retained,
+        meta={"algorithm": "GreedyAbs", "budget": budget, "max_abs_error": error},
+    )

@@ -1,0 +1,189 @@
+"""GreedyRel: greedy thresholding for maximum *relative* error.
+
+The relative-error variant of GreedyAbs (Section 5.4).  The four-quantity
+trick of Eq. 8 breaks here because the denominator ``max(|d_j|, S)`` of
+Eq. 10 differs per leaf, so the maximum potential relative error ``MR_k``
+is maintained by vectorized scans over each node's leaf range instead:
+per removal this costs ``O(|T_k| log |T_k|)`` vector element-operations,
+the same asymptotics as the candidate-set structures of the original
+GreedyRel paper with far simpler bookkeeping.
+
+The engine mirrors :class:`repro.algos.greedy_abs.GreedyAbsTree` and runs
+in the same three roles (whole tree, base sub-tree with incoming error,
+root sub-tree) for the distributed DGreedyRel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algos.greedy_abs import GreedyRun, Removal
+from repro.algos.heap import AddressableMinHeap
+from repro.exceptions import InvalidInputError
+from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
+from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.transform import haar_transform, is_power_of_two
+
+__all__ = ["GreedyRelTree", "greedy_rel", "greedy_rel_order"]
+
+
+class GreedyRelTree:
+    """Greedy discard engine minimizing maximum relative error.
+
+    Parameters
+    ----------
+    coefficients:
+        Length-``m`` array; slot 0 is the overall average (see
+        :class:`repro.algos.greedy_abs.GreedyAbsTree` for the layout).
+    leaf_values:
+        The ``m`` original data values under this (sub-)tree; they define
+        the per-leaf denominators ``max(|d_i|, S)`` of Eq. 10.
+    sanity_bound:
+        The ``S > 0`` of Eq. 10.
+    initial_errors:
+        Incoming signed error per leaf (uniform for base sub-trees).
+    include_average:
+        Whether slot 0 participates.
+    """
+
+    def __init__(
+        self,
+        coefficients,
+        leaf_values,
+        sanity_bound: float = DEFAULT_SANITY_BOUND,
+        initial_errors=None,
+        include_average: bool = True,
+    ):
+        coeffs = np.asarray(coefficients, dtype=np.float64)
+        leaves = np.asarray(leaf_values, dtype=np.float64)
+        if coeffs.ndim != 1 or not is_power_of_two(coeffs.shape[0]):
+            raise InvalidInputError("coefficient array length must be a power of two")
+        if leaves.shape != coeffs.shape:
+            raise InvalidInputError("leaf_values must have the same length as coefficients")
+        if sanity_bound <= 0:
+            raise InvalidInputError("the sanity bound S must be strictly positive")
+
+        self.m = int(coeffs.shape[0])
+        self.coefficients = coeffs.tolist()
+        self.include_average = include_average
+        self.denominators = np.maximum(np.abs(leaves), sanity_bound)
+        if initial_errors is None:
+            self.errors = np.zeros(self.m, dtype=np.float64)
+        else:
+            self.errors = np.asarray(initial_errors, dtype=np.float64).copy()
+            if self.errors.shape[0] != self.m:
+                raise InvalidInputError("initial_errors length must equal tree size")
+
+        self.heap = AddressableMinHeap()
+        for j in range(1, self.m):
+            self.heap.push(j, self._mr(j))
+        if include_average:
+            self.heap.push(0, self._mr_average())
+
+    def _leaf_range(self, j: int) -> tuple[int, int, int]:
+        """Local (lo, mid, hi) leaf bounds of node ``j >= 1``."""
+        level = j.bit_length() - 1
+        span = self.m >> level
+        lo = (j - (1 << level)) * span
+        return lo, lo + span // 2, lo + span
+
+    def _mr(self, j: int) -> float:
+        c = self.coefficients[j]
+        lo, mid, hi = self._leaf_range(j)
+        left = np.abs(self.errors[lo:mid] - c) / self.denominators[lo:mid]
+        right = np.abs(self.errors[mid:hi] + c) / self.denominators[mid:hi]
+        return float(max(left.max(initial=0.0), right.max(initial=0.0)))
+
+    def _mr_average(self) -> float:
+        c = self.coefficients[0]
+        return float(np.max(np.abs(self.errors - c) / self.denominators))
+
+    def current_error(self) -> float:
+        """Tree-wide maximum relative error of the running synopsis."""
+        return float(np.max(np.abs(self.errors) / self.denominators))
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def remove_next(self) -> Removal:
+        """Discard the node with minimum ``MR`` and update the tree."""
+        k, _ = self.heap.pop()
+        value = self.coefficients[k]
+        if k == 0:
+            self.errors -= value
+            refresh_range = (0, self.m)
+        else:
+            lo, mid, hi = self._leaf_range(k)
+            self.errors[lo:mid] -= value
+            self.errors[mid:hi] += value
+            refresh_range = (lo, hi)
+        self._refresh(k, refresh_range)
+        return Removal(node=k, value=value, error_after=self.current_error())
+
+    def _refresh(self, k: int, leaf_range: tuple[int, int]) -> None:
+        """Recompute MR for every alive node overlapping ``leaf_range``."""
+        heap = self.heap
+        if k == 0:
+            for j in range(1, self.m):
+                if j in heap:
+                    heap.update(j, self._mr(j))
+            return
+        # Descendants of k.
+        stack = [2 * k, 2 * k + 1] if 2 * k < self.m else []
+        while stack:
+            j = stack.pop()
+            if j in heap:
+                heap.update(j, self._mr(j))
+            child = 2 * j
+            if child < self.m:
+                stack.append(child)
+                stack.append(child + 1)
+        # Ancestors of k.
+        j = k // 2
+        while j >= 1:
+            if j in heap:
+                heap.update(j, self._mr(j))
+            j //= 2
+        if self.include_average and 0 in heap:
+            heap.update(0, self._mr_average())
+
+    def run_to_exhaustion(self) -> GreedyRun:
+        """Discard every node; return the ordered removal sequence."""
+        initial = self.current_error()
+        removals = []
+        while len(self.heap):
+            removals.append(self.remove_next())
+        return GreedyRun(removals=removals, initial_error=initial)
+
+
+def greedy_rel_order(
+    coefficients,
+    leaf_values,
+    sanity_bound: float = DEFAULT_SANITY_BOUND,
+    initial_errors=None,
+    include_average: bool = True,
+) -> GreedyRun:
+    """Run the relative-error greedy engine to exhaustion."""
+    tree = GreedyRelTree(coefficients, leaf_values, sanity_bound, initial_errors, include_average)
+    return tree.run_to_exhaustion()
+
+
+def greedy_rel(data, budget: int, sanity_bound: float = DEFAULT_SANITY_BOUND) -> WaveletSynopsis:
+    """Centralized GreedyRel: best max-rel synopsis within ``budget``."""
+    if budget < 0:
+        raise InvalidInputError("budget must be non-negative")
+    values = np.asarray(data, dtype=np.float64)
+    coefficients = haar_transform(values)
+    run = greedy_rel_order(coefficients, values, sanity_bound)
+    step, error = run.best_cut(budget)
+    retained = {r.node: r.value for r in run.removals[step:]}
+    return WaveletSynopsis(
+        n=int(values.shape[0]),
+        coefficients=retained,
+        meta={
+            "algorithm": "GreedyRel",
+            "budget": budget,
+            "max_rel_error": error,
+            "sanity_bound": sanity_bound,
+        },
+    )

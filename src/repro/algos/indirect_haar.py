@@ -1,0 +1,150 @@
+"""IndirectHaar: answering Problem 1 through the dual DP (Algorithm 2).
+
+The primal problem (budget ``B``, minimize max-abs error) is solved by
+binary search over the error bound: each probe runs MinHaarSpace (or its
+distributed twin DMHaarSpace — the solver is injected) and compares the
+resulting synopsis size against ``B``.
+
+The search brackets are the paper's (Algorithm 2, lines 1-2): the error of
+the conventional ``B``-term synopsis above, and the ``(B+1)``-largest
+coefficient magnitude below.  Because the solution space is quantized by
+``delta``, the upper bracket is re-expanded when quantization makes it
+infeasible, and the search also terminates once the bracket shrinks below
+one quantum.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.algos.conventional import conventional_synopsis, largest_coefficient
+from repro.algos.minhaarspace import DualSolution, min_haar_space
+from repro.exceptions import InfeasibleErrorBound, InvalidInputError
+from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.transform import haar_transform
+
+__all__ = ["indirect_haar", "indirect_haar_search"]
+
+Solver = Callable[[float], DualSolution]
+
+
+def indirect_haar_search(
+    solver: Solver,
+    error_low: float,
+    error_high: float,
+    budget: int,
+    delta: float,
+    max_iterations: int = 48,
+) -> tuple[DualSolution, int]:
+    """Algorithm 2's binary search, decoupled from how probes are solved.
+
+    Returns ``(best_solution, solver_runs)``; the best solution is the one
+    with minimum achieved error among all probes of size <= ``budget``.
+    """
+    if budget < 0:
+        raise InvalidInputError("budget must be non-negative")
+    if delta <= 0:
+        raise InvalidInputError("delta must be strictly positive")
+
+    runs = 0
+    best: DualSolution | None = None
+
+    def probe(epsilon: float) -> DualSolution | None:
+        nonlocal runs, best
+        runs += 1
+        try:
+            solution = solver(max(epsilon, delta))
+        except InfeasibleErrorBound:
+            return None
+        if solution.size <= budget and (best is None or solution.max_error < best.max_error):
+            best = solution
+        return solution
+
+    # Quantization may make the nominal upper bracket infeasible: expand.
+    e_high = max(error_high, delta)
+    expansion_guard = 0
+    while expansion_guard < 32:
+        solution = probe(e_high)
+        if solution is not None and solution.size <= budget:
+            break
+        e_high *= 2.0
+        expansion_guard += 1
+    if best is None:
+        raise InfeasibleErrorBound(
+            "could not find any feasible synopsis within the budget"
+        )
+
+    e_low = min(error_low, e_high)
+    finished = False
+    iterations = 0
+    while not finished and iterations < max_iterations and e_high - e_low > delta:
+        iterations += 1
+        e_mid = (e_high + e_low) / 2.0
+        solution = probe(e_mid)
+        if solution is None:  # quantization-infeasible: treat as too tight
+            e_low = e_mid
+            continue
+        if solution.size <= budget:
+            # Optimality check (lines 9-11): can a strictly smaller error
+            # bound still fit the budget?
+            achieved = solution.max_error
+            tighter = probe(achieved - delta)
+            if tighter is None or tighter.size > budget:
+                finished = True
+            else:
+                e_high = min(achieved, e_high - delta)
+        else:
+            e_low = e_mid
+
+    return best, runs
+
+
+def indirect_haar(
+    data,
+    budget: int,
+    delta: float,
+    solver: Solver | None = None,
+    max_iterations: int = 48,
+    restricted: bool = False,
+) -> WaveletSynopsis:
+    """Centralized IndirectHaar: best max-abs synopsis within ``budget``.
+
+    ``solver`` defaults to centralized MinHaarSpace over ``data``
+    (unrestricted, as the paper's footnote 2; ``restricted=True`` swaps in
+    the classic restricted search space); the distributed driver passes
+    DMHaarSpace instead.
+    """
+    values = np.asarray(data, dtype=np.float64)
+    coefficients = haar_transform(values)
+
+    conventional = conventional_synopsis(values, budget)
+    error_high = conventional.max_abs_error(values)
+    if error_high == 0.0:
+        conventional.meta.update({"algorithm": "IndirectHaar", "dp_runs": 0})
+        return conventional
+    error_low = largest_coefficient(coefficients, budget + 1)
+
+    if solver is None:
+        if restricted:
+            from repro.algos.minhaarspace import min_haar_space_restricted
+
+            solver = lambda epsilon: min_haar_space_restricted(values, epsilon, delta)  # noqa: E731
+        else:
+            solver = lambda epsilon: min_haar_space(values, epsilon, delta)  # noqa: E731
+
+    best, runs = indirect_haar_search(
+        solver, error_low, error_high, budget, delta, max_iterations
+    )
+    synopsis = best.synopsis
+    synopsis.meta.update(
+        {
+            "algorithm": "IndirectHaar",
+            "budget": budget,
+            "delta": delta,
+            "max_abs_error": best.max_error,
+            "dp_runs": runs,
+        }
+    )
+    return synopsis

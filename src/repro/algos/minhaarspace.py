@@ -1,0 +1,479 @@
+"""MinHaarSpace: the dual-problem DP (Karras/Sacharidis/Mamoulis, KDD'07).
+
+Solves **Problem 2**: given an error bound ``epsilon``, build an
+*unrestricted* wavelet synopsis (coefficient values are free, not tied to
+the Haar coefficients) with ``max_abs <= epsilon`` and as few non-zero
+entries as possible.
+
+The DP walks the error tree bottom-up.  For every node ``j`` it builds an
+*M-row* ``M[j]``: one entry per quantized *incoming value* ``v`` (the
+partial reconstruction accumulated along the path of ancestors), holding
+
+* the minimum number of non-zero coefficients needed inside ``T_j``,
+* the achieved maximum absolute error in the scope of ``T_j``, and
+* the traceback choice (which incoming value the left child receives).
+
+Incoming values live on the uniform grid ``v = k * delta``; ``delta`` is
+the user knob trading solution quality for time/space, exactly as in the
+paper (Figures 6-7).  A node's feasible incoming-value domain is the
+``±epsilon`` band around its subtree mean, intersected with the grid, so
+each row has ``O(epsilon / delta)`` entries — the quantity that also
+bounds the communication of the distributed version (Section 4).
+
+The row algebra is deliberately *compositional*: a data value is a row, a
+coefficient node combines its two child rows, and the same ``combine`` is
+reused verbatim by DMHaarSpace where child rows arrive from a previous
+distributed layer instead of from recursion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InfeasibleErrorBound, InvalidInputError
+from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.transform import is_power_of_two
+
+__all__ = [
+    "MRow",
+    "DualSolution",
+    "effective_delta",
+    "leaf_row",
+    "combine_rows",
+    "combine_rows_restricted",
+    "compute_subtree_rows",
+    "compute_subtree_rows_restricted",
+    "traceback_subtree",
+    "finalize_root",
+    "min_haar_space",
+    "min_haar_space_restricted",
+]
+
+
+def effective_delta(epsilon: float, delta: float, n: int) -> float:
+    """Clamp ``delta`` so the quantized domains survive the tree depth.
+
+    Combining two child rows can lose one grid point of domain width when
+    the children's bounds have odd parity, so after ``log2 N`` levels a
+    domain of fewer than ``~log2 N`` points can become empty even though
+    real-valued solutions exist.  The paper hits the same wall ("the
+    algorithm could not run ... as these values were higher than the space
+    they need to quantize", Section 6.2); we refine ``delta`` just enough
+    that every row keeps at least ``log2 N + 2`` entries, which also caps
+    row width — and with it runtime and communication — at
+    ``O(max(epsilon/delta, log N))``.
+    """
+    if delta <= 0:
+        raise InvalidInputError("delta must be strictly positive")
+    if epsilon <= 0:
+        return delta
+    depth = max(n.bit_length() - 1, 1)
+    ceiling = 2.0 * epsilon / (depth + 2)
+    return min(delta, ceiling) if ceiling > 0 else delta
+
+#: Tie-break weight: rows minimize coefficient count first, then achieved
+#: error.  Scores are ``count * weight + error`` with ``weight > epsilon``.
+def _lexicographic_weight(epsilon: float, delta: float) -> float:
+    return 2.0 * epsilon + delta + 1.0
+
+
+@dataclass
+class MRow:
+    """One DP row: per-incoming-grid-value minimum cost inside a sub-tree.
+
+    ``start`` is the grid index of the first entry: entry ``i`` describes
+    incoming value ``(start + i) * delta``.  ``choices[i]`` is the grid
+    index handed to the *left* child (``-1`` for data-leaf rows).
+    """
+
+    start: int
+    counts: np.ndarray
+    errors: np.ndarray
+    choices: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def end(self) -> int:
+        """Grid index of the last entry (inclusive)."""
+        return self.start + len(self) - 1
+
+    def entry(self, grid_index: int) -> tuple[int, float]:
+        """Return ``(count, error)`` at an absolute grid index."""
+        offset = grid_index - self.start
+        if not 0 <= offset < len(self):
+            raise InvalidInputError(f"grid index {grid_index} outside row domain")
+        return int(self.counts[offset]), float(self.errors[offset])
+
+    def serialized_size(self) -> int:
+        """Modeled shuffle size: the O(epsilon/delta) cost of Section 4."""
+        return 8 + 4 * len(self) + 8 * len(self) + 4 * len(self)
+
+
+@dataclass
+class DualSolution:
+    """Output of a Problem-2 solve."""
+
+    size: int
+    max_error: float
+    synopsis: WaveletSynopsis
+
+
+def leaf_row(value: float, epsilon: float, delta: float) -> MRow:
+    """Row of a data leaf: zero cost wherever ``|v - value| <= epsilon``."""
+    if epsilon < 0:
+        raise InvalidInputError("epsilon must be non-negative")
+    if delta <= 0:
+        raise InvalidInputError("delta must be strictly positive")
+    start = math.ceil((value - epsilon) / delta - 1e-12)
+    stop = math.floor((value + epsilon) / delta + 1e-12)
+    if stop < start:
+        raise InfeasibleErrorBound(
+            f"no grid point within ±{epsilon} of {value} at quantization {delta}"
+        )
+    grid = np.arange(start, stop + 1, dtype=np.int64)
+    errors = np.abs(grid * delta - value)
+    return MRow(
+        start=start,
+        counts=np.zeros(len(grid), dtype=np.int32),
+        errors=errors.astype(np.float64),
+        choices=np.full(len(grid), -1, dtype=np.int64),
+    )
+
+
+def combine_rows(left: MRow, right: MRow, epsilon: float, delta: float) -> MRow:
+    """Combine two child rows into their parent coefficient node's row.
+
+    For incoming ``v``, the node may assign a value ``z`` (cost 1 when
+    ``z != 0``), passing ``v + z`` to the left child and ``v - z`` to the
+    right.  On the grid this means choosing ``vl`` in the left domain with
+    ``vr = 2v - vl`` in the right domain; ``z = 0`` corresponds to
+    ``vl == v``.  The row minimizes count, then achieved error.
+    """
+    weight = _lexicographic_weight(epsilon, delta)
+    v_start = math.ceil((left.start + right.start) / 2)
+    v_stop = math.floor((left.end + right.end) / 2)
+    if v_stop < v_start:
+        raise InfeasibleErrorBound(
+            "empty combined domain (quantization too coarse for this epsilon)"
+        )
+
+    width = v_stop - v_start + 1
+    counts = np.empty(width, dtype=np.int32)
+    errors = np.empty(width, dtype=np.float64)
+    choices = np.empty(width, dtype=np.int64)
+
+    for offset, v in enumerate(range(v_start, v_stop + 1)):
+        vl_lo = max(left.start, 2 * v - right.end)
+        vl_hi = min(left.end, 2 * v - right.start)
+        if vl_hi < vl_lo:
+            # No pairing for this v; mark as infeasible (pruned below).
+            counts[offset] = np.iinfo(np.int32).max // 2
+            errors[offset] = np.inf
+            choices[offset] = -1
+            continue
+        lseg_counts = left.counts[vl_lo - left.start : vl_hi - left.start + 1]
+        lseg_errors = left.errors[vl_lo - left.start : vl_hi - left.start + 1]
+        # As vl ascends, vr = 2v - vl descends through the right row.
+        r_hi = 2 * v - vl_lo
+        r_lo = 2 * v - vl_hi
+        rseg_counts = right.counts[r_lo - right.start : r_hi - right.start + 1][::-1]
+        rseg_errors = right.errors[r_lo - right.start : r_hi - right.start + 1][::-1]
+
+        total_counts = lseg_counts.astype(np.int64) + rseg_counts + 1
+        if vl_lo <= v <= vl_hi:
+            total_counts[v - vl_lo] -= 1  # z == 0 stores nothing
+        total_errors = np.maximum(lseg_errors, rseg_errors)
+        scores = total_counts * weight + total_errors
+        best = int(np.argmin(scores))
+        counts[offset] = total_counts[best]
+        errors[offset] = total_errors[best]
+        choices[offset] = vl_lo + best
+
+    feasible = np.isfinite(errors)
+    if not feasible.any():
+        raise InfeasibleErrorBound("no feasible incoming value for combined row")
+    # Trim infeasible fringe entries (can only occur at the borders).
+    first = int(np.argmax(feasible))
+    last = width - 1 - int(np.argmax(feasible[::-1]))
+    return MRow(
+        start=v_start + first,
+        counts=counts[first : last + 1],
+        errors=errors[first : last + 1],
+        choices=choices[first : last + 1],
+    )
+
+
+def combine_rows_restricted(
+    left: MRow, right: MRow, z_offset: int, epsilon: float, delta: float
+) -> MRow:
+    """Combine child rows when the node may only keep its own coefficient.
+
+    The *restricted* variant of the DP: at each node the choice is binary —
+    drop the coefficient (``z = 0``) or keep its (grid-snapped) Haar value
+    ``z = z_offset * delta``.  This is the classic restricted-synopsis
+    search space; with the same grid it can never use fewer coefficients
+    than the unrestricted :func:`combine_rows` (tested).
+    """
+    candidates: list[tuple[int, int]] = [(0, 0)]  # (z grid offset, stored count)
+    if z_offset != 0:
+        candidates.append((z_offset, 1))
+
+    starts = []
+    ends = []
+    for z, _ in candidates:
+        # v feasible for this z when v+z in left domain and v-z in right.
+        starts.append(max(left.start - z, right.start + z))
+        ends.append(min(left.end - z, right.end + z))
+    v_start = min(starts)
+    v_stop = max(ends)
+    if v_stop < v_start:
+        raise InfeasibleErrorBound(
+            "empty restricted domain (quantization too coarse for this epsilon)"
+        )
+
+    weight = _lexicographic_weight(epsilon, delta)
+    width = v_stop - v_start + 1
+    counts = np.full(width, np.iinfo(np.int32).max // 2, dtype=np.int32)
+    errors = np.full(width, np.inf, dtype=np.float64)
+    choices = np.full(width, -1, dtype=np.int64)
+    scores = np.full(width, np.inf, dtype=np.float64)
+
+    for (z, stored), lo, hi in zip(candidates, starts, ends):
+        if hi < lo:
+            continue
+        span = slice(lo - v_start, hi - v_start + 1)
+        lseg = slice(lo + z - left.start, hi + z - left.start + 1)
+        rseg = slice(lo - z - right.start, hi - z - right.start + 1)
+        cand_counts = left.counts[lseg].astype(np.int64) + right.counts[rseg] + stored
+        cand_errors = np.maximum(left.errors[lseg], right.errors[rseg])
+        cand_scores = cand_counts * weight + cand_errors
+        better = cand_scores < scores[span]
+        view = np.arange(lo, hi + 1)
+        counts[span] = np.where(better, cand_counts, counts[span])
+        errors[span] = np.where(better, cand_errors, errors[span])
+        choices[span] = np.where(better, view + z, choices[span])
+        scores[span] = np.where(better, cand_scores, scores[span])
+
+    feasible = np.isfinite(errors)
+    if not feasible.any():
+        raise InfeasibleErrorBound("no feasible incoming value for restricted row")
+    first = int(np.argmax(feasible))
+    last = width - 1 - int(np.argmax(feasible[::-1]))
+    trimmed = slice(first, last + 1)
+    if not np.isfinite(errors[trimmed]).all():
+        # Restricted domains can be non-contiguous (union of two bands);
+        # keep infeasible holes explicit so parents skip them.
+        pass
+    return MRow(
+        start=v_start + first,
+        counts=counts[trimmed],
+        errors=errors[trimmed],
+        choices=choices[trimmed],
+    )
+
+
+def compute_subtree_rows_restricted(
+    leaf_rows: list[MRow], coefficients, epsilon: float, delta: float
+) -> list[MRow | None]:
+    """Restricted-variant DP over one sub-tree.
+
+    ``coefficients`` is the local coefficient array (slot ``j`` for local
+    node ``j``; slot 0 ignored), whose values are snapped to the grid.
+    """
+    m = len(leaf_rows)
+    if not is_power_of_two(m):
+        raise InvalidInputError("leaf count must be a power of two")
+    if m == 1:
+        return [leaf_rows[0]]
+
+    def snapped(node: int) -> int:
+        return int(round(float(coefficients[node]) / delta))
+
+    rows: list[MRow | None] = [None] * m
+    for j in range(m - 1, m // 2 - 1, -1):
+        rows[j] = combine_rows_restricted(
+            leaf_rows[2 * j - m], leaf_rows[2 * j + 1 - m], snapped(j), epsilon, delta
+        )
+    for j in range(m // 2 - 1, 0, -1):
+        rows[j] = combine_rows_restricted(
+            rows[2 * j], rows[2 * j + 1], snapped(j), epsilon, delta
+        )
+    return rows
+
+
+def compute_subtree_rows(leaf_rows: list[MRow], epsilon: float, delta: float) -> list[MRow | None]:
+    """Run the DP bottom-up over a complete sub-tree of ``m`` leaves.
+
+    ``leaf_rows[i]`` is the row of the ``i``-th leaf — a data leaf
+    (:func:`leaf_row`) at the bottom layer, or a lower sub-tree's root row
+    in the distributed framework.  Returns ``rows`` indexed by local node
+    (``rows[0]`` unused, ``rows[1]`` is the local root's M-row).
+    """
+    m = len(leaf_rows)
+    if not is_power_of_two(m):
+        raise InvalidInputError("leaf count must be a power of two")
+    if m == 1:
+        # Degenerate sub-tree: no internal coefficient nodes.
+        return [leaf_rows[0]]
+    rows: list[MRow | None] = [None] * m
+    for j in range(m - 1, m // 2 - 1, -1):
+        rows[j] = combine_rows(leaf_rows[2 * j - m], leaf_rows[2 * j + 1 - m], epsilon, delta)
+    for j in range(m // 2 - 1, 0, -1):
+        rows[j] = combine_rows(rows[2 * j], rows[2 * j + 1], epsilon, delta)
+    return rows
+
+
+def traceback_subtree(
+    rows: list[MRow | None], root_incoming: int, delta: float
+) -> tuple[dict[int, float], list[int]]:
+    """Walk a sub-tree's rows top-down from a chosen incoming value.
+
+    Returns ``(assignments, leaf_incomings)``: the non-zero coefficient
+    values selected inside the sub-tree (keyed by *local* node index) and
+    the incoming grid index delivered to each of the ``m`` leaves — which
+    the distributed framework forwards to the next layer down.
+    """
+    m = len(rows)
+    if m == 1:
+        return {}, [root_incoming]
+    assignments: dict[int, float] = {}
+    leaf_incomings = [0] * m
+    stack = [(1, root_incoming)]
+    while stack:
+        node, v = stack.pop()
+        row = rows[node]
+        vl = int(row.choices[v - row.start])
+        vr = 2 * v - vl
+        if vl != v:
+            assignments[node] = (vl - v) * delta
+        if 2 * node < m:
+            stack.append((2 * node, vl))
+            stack.append((2 * node + 1, vr))
+        else:
+            leaf_incomings[2 * node - m] = vl
+            leaf_incomings[2 * node + 1 - m] = vr
+    return assignments, leaf_incomings
+
+
+def finalize_root(row: MRow, epsilon: float, delta: float) -> tuple[int, float, int]:
+    """Choose the overall-average coefficient ``c_0``.
+
+    The incoming value of the top detail node equals the value assigned at
+    ``c_0`` (zero if ``c_0`` is dropped).  Returns
+    ``(total_count, achieved_error, chosen_grid_index)``.
+    """
+    weight = _lexicographic_weight(epsilon, delta)
+    counts = row.counts.astype(np.int64) + 1
+    if row.start <= 0 <= row.end:
+        counts[0 - row.start] -= 1  # dropping c_0 entirely
+    scores = counts * weight + row.errors
+    best = int(np.argmin(scores))
+    return int(counts[best]), float(row.errors[best]), row.start + best
+
+
+def finalize_root_restricted(
+    row: MRow, average_offset: int, epsilon: float, delta: float
+) -> tuple[int, float, int]:
+    """Restricted finalize: ``c_0`` is either dropped or its snapped value."""
+    weight = _lexicographic_weight(epsilon, delta)
+    best: tuple[float, int, float, int] | None = None
+    for choice, stored in ((0, 0), (average_offset, 1)):
+        if not row.start <= choice <= row.end:
+            continue
+        count = int(row.counts[choice - row.start]) + stored
+        error = float(row.errors[choice - row.start])
+        if not np.isfinite(error):
+            continue
+        score = count * weight + error
+        if best is None or score < best[0]:
+            best = (score, count, error, choice)
+    if best is None:
+        raise InfeasibleErrorBound("no feasible restricted root choice")
+    return best[1], best[2], best[3]
+
+
+def min_haar_space_restricted(data, epsilon: float, delta: float) -> DualSolution:
+    """Restricted MinHaarSpace: minimum-size synopsis with error <= epsilon,
+    retaining only (grid-snapped) original Haar coefficient values.
+
+    Same dual problem as :func:`min_haar_space` over the classic restricted
+    search space; needs at least as many coefficients as the unrestricted
+    solver for the same bound (tested).  Demonstrates that the Section 4
+    framework's row algebra is not specific to one DP.
+    """
+    from repro.wavelet.transform import haar_transform
+
+    values = np.asarray(data, dtype=np.float64)
+    if values.ndim != 1 or not is_power_of_two(values.shape[0]):
+        raise InvalidInputError("data length must be a power of two")
+    n = int(values.shape[0])
+    delta = effective_delta(epsilon, delta, n)
+    coefficients = haar_transform(values)
+
+    leaves = [leaf_row(v, epsilon, delta) for v in values]
+    rows = compute_subtree_rows_restricted(leaves, coefficients, epsilon, delta)
+    root_row = rows[1] if n > 1 else rows[0]
+    average_offset = int(round(float(coefficients[0]) / delta))
+    size, error, chosen = finalize_root_restricted(root_row, average_offset, epsilon, delta)
+
+    retained: dict[int, float] = {}
+    if chosen != 0:
+        retained[0] = chosen * delta
+    if n > 1:
+        assignments, _ = traceback_subtree(rows, chosen, delta)
+        retained.update(assignments)
+
+    synopsis = WaveletSynopsis(
+        n=n,
+        coefficients=retained,
+        meta={
+            "algorithm": "MinHaarSpaceRestricted",
+            "epsilon": epsilon,
+            "delta": delta,
+            "max_abs_error": error,
+        },
+    )
+    return DualSolution(size=size, max_error=error, synopsis=synopsis)
+
+
+def min_haar_space(data, epsilon: float, delta: float) -> DualSolution:
+    """Centralized MinHaarSpace: minimum-size synopsis with error <= epsilon.
+
+    Raises :class:`InfeasibleErrorBound` when the quantized search space
+    admits no solution (callers such as IndirectHaar treat this as
+    "epsilon too small" and search upward).
+    """
+    values = np.asarray(data, dtype=np.float64)
+    if values.ndim != 1 or not is_power_of_two(values.shape[0]):
+        raise InvalidInputError("data length must be a power of two")
+    n = int(values.shape[0])
+    delta = effective_delta(epsilon, delta, n)
+
+    leaves = [leaf_row(v, epsilon, delta) for v in values]
+    rows = compute_subtree_rows(leaves, epsilon, delta)
+    root_row = rows[1] if n > 1 else rows[0]
+    size, error, chosen = finalize_root(root_row, epsilon, delta)
+
+    coefficients: dict[int, float] = {}
+    if chosen != 0:
+        coefficients[0] = chosen * delta
+    if n > 1:
+        assignments, _ = traceback_subtree(rows, chosen, delta)
+        coefficients.update(assignments)
+
+    synopsis = WaveletSynopsis(
+        n=n,
+        coefficients=coefficients,
+        meta={
+            "algorithm": "MinHaarSpace",
+            "epsilon": epsilon,
+            "delta": delta,
+            "max_abs_error": error,
+        },
+    )
+    return DualSolution(size=size, max_error=error, synopsis=synopsis)

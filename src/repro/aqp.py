@@ -1,0 +1,164 @@
+"""Approximate query processing over a collection of synopses.
+
+The paper's motivation is AQP: answer aggregate queries from compact
+synopses instead of the base data.  :class:`SynopsisStore` is the thin
+serving layer a downstream user actually deploys — it manages one synopsis
+per named series, answers point/sum/average queries in ``O(log N)``, keeps
+each series' error guarantee next to its synopsis, and round-trips to JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.thresholding import build_synopsis
+from repro.exceptions import InvalidInputError, ReproError
+from repro.wavelet.synopsis import WaveletSynopsis
+
+__all__ = ["SynopsisStore"]
+
+
+class SynopsisStore:
+    """A named collection of wavelet synopses with query helpers."""
+
+    def __init__(self):
+        self._synopses: dict[str, WaveletSynopsis] = {}
+        self._lengths: dict[str, int] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._synopses
+
+    def __len__(self) -> int:
+        return len(self._synopses)
+
+    def names(self) -> list[str]:
+        """Registered series names, sorted."""
+        return sorted(self._synopses)
+
+    def add(
+        self,
+        name: str,
+        data,
+        budget: int,
+        algorithm: str = "dgreedy-abs",
+        **build_kwargs: Any,
+    ) -> WaveletSynopsis:
+        """Summarize ``data`` and register it under ``name``.
+
+        The synopsis records the achieved max-abs guarantee against the
+        (padded) data in its metadata; re-adding a name replaces it.
+        """
+        values = np.asarray(data, dtype=np.float64)
+        if values.ndim != 1 or values.size == 0:
+            raise InvalidInputError("series must be a non-empty 1-D array")
+        synopsis = build_synopsis(values, budget, algorithm=algorithm, **build_kwargs)
+        padded = np.zeros(synopsis.n)
+        padded[: values.size] = values
+        synopsis.meta["series"] = name
+        synopsis.meta["original_length"] = int(values.size)
+        synopsis.meta["max_abs_guarantee"] = synopsis.max_abs_error(padded)
+        self._synopses[name] = synopsis
+        self._lengths[name] = int(values.size)
+        return synopsis
+
+    def register(self, name: str, synopsis: WaveletSynopsis, original_length: int | None = None) -> None:
+        """Register a prebuilt synopsis (e.g. loaded from elsewhere)."""
+        self._synopses[name] = synopsis
+        self._lengths[name] = int(
+            original_length
+            or synopsis.meta.get("original_length")
+            or synopsis.n
+        )
+
+    def _get(self, name: str) -> WaveletSynopsis:
+        try:
+            return self._synopses[name]
+        except KeyError:
+            raise ReproError(f"unknown series {name!r}") from None
+
+    def _clip(self, name: str, lo: int, hi: int) -> tuple[int, int]:
+        length = self._lengths[name]
+        if lo > hi:
+            raise InvalidInputError(f"empty range [{lo}, {hi}]")
+        if lo < 0 or hi >= length:
+            raise InvalidInputError(
+                f"range [{lo}, {hi}] out of bounds for series of length {length}"
+            )
+        return lo, hi
+
+    def point(self, name: str, index: int) -> float:
+        """Approximate value of one element."""
+        synopsis = self._get(name)
+        self._clip(name, index, index)
+        return synopsis.point_query(index)
+
+    def range_sum(self, name: str, lo: int, hi: int) -> float:
+        """Approximate sum over the inclusive range ``[lo, hi]``."""
+        synopsis = self._get(name)
+        lo, hi = self._clip(name, lo, hi)
+        return synopsis.range_sum(lo, hi)
+
+    def range_avg(self, name: str, lo: int, hi: int) -> float:
+        """Approximate average over the inclusive range ``[lo, hi]``."""
+        synopsis = self._get(name)
+        lo, hi = self._clip(name, lo, hi)
+        return synopsis.range_avg(lo, hi)
+
+    def guarantee(self, name: str) -> float:
+        """The series' recorded max-abs guarantee (inf when unknown)."""
+        return float(self._get(name).meta.get("max_abs_guarantee", float("inf")))
+
+    def range_sum_bounds(self, name: str, lo: int, hi: int) -> tuple[float, float]:
+        """Deterministic bounds on the exact range sum.
+
+        Each value is within the max-abs guarantee, so the exact sum lies
+        within ``width * guarantee`` of the approximate one.
+        """
+        approx = self.range_sum(name, lo, hi)
+        slack = (hi - lo + 1) * self.guarantee(name)
+        return approx - slack, approx + slack
+
+    def report(self) -> list[dict[str, Any]]:
+        """Per-series summary: size, compression ratio, guarantee."""
+        rows = []
+        for name in self.names():
+            synopsis = self._synopses[name]
+            rows.append(
+                {
+                    "series": name,
+                    "length": self._lengths[name],
+                    "coefficients": synopsis.size,
+                    "ratio": self._lengths[name] / max(synopsis.size, 1),
+                    "max_abs_guarantee": self.guarantee(name),
+                    "algorithm": synopsis.meta.get("algorithm"),
+                }
+            )
+        return rows
+
+    def save(self, path) -> None:
+        """Serialize the whole store to a JSON file."""
+        payload = {
+            name: {
+                "synopsis": synopsis.to_dict(),
+                "original_length": self._lengths[name],
+            }
+            for name, synopsis in self._synopses.items()
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path) -> "SynopsisStore":
+        """Inverse of :meth:`save`."""
+        store = cls()
+        payload = json.loads(Path(path).read_text())
+        for name, entry in payload.items():
+            store.register(
+                name,
+                WaveletSynopsis.from_dict(entry["synopsis"]),
+                original_length=entry["original_length"],
+            )
+        return store

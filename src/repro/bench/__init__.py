@@ -1,0 +1,23 @@
+"""Benchmark harness: experiment settings, measurements, and reporting."""
+
+from repro.bench.harness import (
+    DP_BYTES_PER_ROW_ENTRY,
+    GREEDY_BYTES_PER_POINT,
+    BenchSettings,
+    Measurement,
+    measure_centralized,
+    measure_distributed,
+)
+from repro.bench.reporting import format_table, format_value, print_table
+
+__all__ = [
+    "BenchSettings",
+    "DP_BYTES_PER_ROW_ENTRY",
+    "GREEDY_BYTES_PER_POINT",
+    "Measurement",
+    "format_table",
+    "format_value",
+    "measure_centralized",
+    "measure_distributed",
+    "print_table",
+]

@@ -1,0 +1,129 @@
+"""Experiment harness shared by every benchmark.
+
+Time semantics (DESIGN.md §3): distributed algorithms report the
+*simulated* wall-clock of their jobs — real measured task CPU times placed
+onto the configured slot pool plus Hadoop-like overheads — while
+centralized algorithms report plain measured wall-clock on "one machine".
+Both are in seconds of the same scale, so the figures' comparisons are
+meaningful.
+
+Scale mapping: the harness's ``unit`` (default 2^13 points) plays the role
+of the paper's 2M-record partition, so a sweep over ``unit * 2^k``
+reproduces the 2M..537M x-axes at laptop size.  Centralized algorithms are
+additionally subject to a :class:`repro.mapreduce.MemoryModel` sized so
+they "cannot run" past the paper's 17M-equivalent — reproducing the
+missing points of Figures 5c/5d/8/9.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import MemoryBudgetExceeded
+from repro.mapreduce.cluster import ClusterConfig, MemoryModel, SimulatedCluster
+
+__all__ = ["BenchSettings", "Measurement", "measure_distributed", "measure_centralized"]
+
+#: Bytes-per-point working-set estimates for the centralized algorithms
+#: (coefficients + bookkeeping structures, from the implementations).
+GREEDY_BYTES_PER_POINT = 80
+DP_BYTES_PER_ROW_ENTRY = 16
+
+
+@dataclass
+class BenchSettings:
+    """Shared knobs for one benchmark run."""
+
+    #: Points standing in for the paper's 2M-record partition.
+    unit: int = 1 << 13
+    #: Centralized algorithms OOM above this many points ("17M" ≈ 8 units).
+    centralized_memory_points: int = 1 << 16
+    cluster_config: ClusterConfig = field(default_factory=ClusterConfig)
+    subtree_leaves: int = 1 << 10
+    seed: int = 7
+    #: DGreedy error-bucket width (e_b); benches use 1e-4 of the value range.
+    bucket_width: float = 0.1
+
+    def memory_model(self) -> MemoryModel:
+        return MemoryModel(self.centralized_memory_points * GREEDY_BYTES_PER_POINT)
+
+    def cluster(self, **overrides) -> SimulatedCluster:
+        config = self.cluster_config.scaled(**overrides) if overrides else self.cluster_config
+        return SimulatedCluster(config)
+
+    def label(self, n: int) -> str:
+        """Paper-scale label for ``n`` points (unit == "2M")."""
+        millions = 2 * n // self.unit
+        return f"{millions}M"
+
+
+@dataclass
+class Measurement:
+    """One (algorithm, workload) cell of a figure."""
+
+    algorithm: str
+    n: int
+    seconds: float | None
+    error: float | None = None
+    shuffle_bytes: int = 0
+    jobs: int = 0
+    oom: bool = False
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def row(self, settings: BenchSettings | None = None) -> dict:
+        size = settings.label(self.n) if settings else self.n
+        return {
+            "size": size,
+            "algorithm": self.algorithm,
+            "seconds": None if self.oom else self.seconds,
+            "error": self.error,
+            "note": "OOM" if self.oom else "",
+        }
+
+
+def measure_distributed(
+    name: str,
+    n: int,
+    build: Callable[[SimulatedCluster], Any],
+    cluster: SimulatedCluster,
+    error_of: Callable[[Any], float] | None = None,
+) -> Measurement:
+    """Run a distributed algorithm and read its simulated cost."""
+    cluster.reset()
+    result = build(cluster)
+    return Measurement(
+        algorithm=name,
+        n=n,
+        seconds=cluster.simulated_seconds,
+        error=error_of(result) if error_of else None,
+        shuffle_bytes=cluster.log.shuffle_bytes,
+        jobs=cluster.log.job_count,
+        extra={"result": result},
+    )
+
+
+def measure_centralized(
+    name: str,
+    n: int,
+    build: Callable[[], Any],
+    memory: MemoryModel,
+    required_bytes: int,
+    error_of: Callable[[Any], float] | None = None,
+) -> Measurement:
+    """Run a centralized algorithm under the single-machine memory model."""
+    try:
+        memory.charge(required_bytes, name)
+    except MemoryBudgetExceeded:
+        return Measurement(algorithm=name, n=n, seconds=None, oom=True)
+    start = time.perf_counter()
+    result = build()
+    seconds = time.perf_counter() - start
+    return Measurement(
+        algorithm=name,
+        n=n,
+        seconds=seconds,
+        error=error_of(result) if error_of else None,
+        extra={"result": result},
+    )

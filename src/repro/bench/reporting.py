@@ -1,0 +1,50 @@
+"""Paper-style table/series rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "print_table", "format_value"]
+
+
+def format_value(value) -> str:
+    """Render one cell: compact floats, pass-through strings."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Align a list of row dicts into a monospace table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(cells[i]) for cells in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cells[i].ljust(widths[i]) for i in range(len(columns)))
+        for cells in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def print_table(title: str, rows: Sequence[dict], columns: Sequence[str] | None = None) -> None:
+    """Print a titled table (the harness's standard output format)."""
+    print(f"\n== {title} ==")
+    print(format_table(rows, columns))

@@ -1,0 +1,156 @@
+"""Command-line interface: build and query wavelet synopses from files.
+
+Examples::
+
+    # Build a max-error synopsis of a column of numbers.
+    python -m repro build data.txt --budget 1024 --algorithm dgreedy-abs \
+        --output synopsis.json
+
+    # Query it.
+    python -m repro query synopsis.json --point 123
+    python -m repro query synopsis.json --range 100 199
+
+    # Inspect quality against the original data.
+    python -m repro evaluate synopsis.json data.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.thresholding import ALGORITHMS, build_synopsis
+from repro.exceptions import ReproError
+from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
+from repro.wavelet.synopsis import WaveletSynopsis
+
+__all__ = ["main"]
+
+
+def _load_data(path: str) -> np.ndarray:
+    """Load a 1-D array from .npy or whitespace/comma-separated text."""
+    location = Path(path)
+    if not location.exists():
+        raise ReproError(f"input file not found: {path}")
+    if location.suffix == ".npy":
+        data = np.load(location)
+    else:
+        text = location.read_text().replace(",", " ")
+        try:
+            data = np.array([float(token) for token in text.split()])
+        except ValueError as exc:
+            raise ReproError(f"non-numeric token in {path}: {exc}") from exc
+    data = np.asarray(data, dtype=np.float64).ravel()
+    if data.size == 0:
+        raise ReproError(f"no numeric data found in {path}")
+    return data
+
+
+def _load_synopsis(path: str) -> WaveletSynopsis:
+    with open(path) as handle:
+        return WaveletSynopsis.from_dict(json.load(handle))
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    data = _load_data(args.data)
+    synopsis = build_synopsis(
+        data,
+        budget=args.budget,
+        algorithm=args.algorithm,
+        delta=args.delta,
+        sanity_bound=args.sanity_bound,
+        subtree_leaves=args.subtree_leaves,
+    )
+    payload = synopsis.to_dict()
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {synopsis.size}-coefficient synopsis to {args.output}")
+    else:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    print(
+        f"algorithm={args.algorithm} N={synopsis.n} size={synopsis.size} "
+        f"max_abs={synopsis.max_abs_error(np.pad(data, (0, synopsis.n - data.size))):.4f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    synopsis = _load_synopsis(args.synopsis)
+    if args.point is not None:
+        print(synopsis.point_query(args.point))
+    elif args.range is not None:
+        lo, hi = args.range
+        print(synopsis.range_sum(lo, hi))
+    else:
+        print("specify --point or --range", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    synopsis = _load_synopsis(args.synopsis)
+    data = _load_data(args.data)
+    padded = np.zeros(synopsis.n)
+    padded[: data.size] = data
+    print(f"size     : {synopsis.size}")
+    print(f"max_abs  : {synopsis.max_abs_error(padded):.6f}")
+    print(f"max_rel  : {synopsis.max_rel_error(padded, args.sanity_bound):.6f}")
+    print(f"L2       : {synopsis.l2_error(padded):.6f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Max-error wavelet synopses (SIGMOD'16 reproduction)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build a synopsis from a data file")
+    build.add_argument("data", help=".npy or text file with one number per token")
+    build.add_argument("--budget", type=int, required=True, help="max coefficients B")
+    build.add_argument(
+        "--algorithm", default="dgreedy-abs", choices=sorted(ALGORITHMS)
+    )
+    build.add_argument("--delta", type=float, default=1.0, help="DP quantization step")
+    build.add_argument(
+        "--sanity-bound", type=float, default=DEFAULT_SANITY_BOUND, help="rel-error S"
+    )
+    build.add_argument("--subtree-leaves", type=int, default=1024)
+    build.add_argument("--output", help="write the synopsis JSON here")
+    build.set_defaults(handler=_cmd_build)
+
+    query = commands.add_parser("query", help="query a stored synopsis")
+    query.add_argument("synopsis", help="synopsis JSON from `repro build`")
+    query.add_argument("--point", type=int, help="approximate value at this index")
+    query.add_argument(
+        "--range", type=int, nargs=2, metavar=("LO", "HI"), help="approximate range sum"
+    )
+    query.set_defaults(handler=_cmd_query)
+
+    evaluate = commands.add_parser("evaluate", help="error metrics vs the original data")
+    evaluate.add_argument("synopsis")
+    evaluate.add_argument("data")
+    evaluate.add_argument("--sanity-bound", type=float, default=DEFAULT_SANITY_BOUND)
+    evaluate.set_defaults(handler=_cmd_evaluate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

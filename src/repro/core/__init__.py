@@ -1,0 +1,58 @@
+"""The paper's contributions: distributed wavelet thresholding.
+
+* :mod:`repro.core.partitioning` — locality-preserving error-tree splits;
+* :mod:`repro.core.dp_framework` — the DP parallelization framework
+  (Algorithm 1) and DMHaarSpace;
+* :mod:`repro.core.dindirect` — DIndirectHaar (Algorithm 2, distributed);
+* :mod:`repro.core.dgreedy` — DGreedyAbs / DGreedyRel (Algorithms 3-6);
+* :mod:`repro.core.conventional_dist` — CON, Send-V, Send-Coef, H-WTopk;
+* :mod:`repro.core.thresholding` — the :func:`build_synopsis` facade.
+"""
+
+from repro.core.conventional_dist import (
+    con_synopsis,
+    h_wtopk_synopsis,
+    send_coef_synopsis,
+    send_v_synopsis,
+)
+from repro.core.dgreedy import d_greedy_abs, d_greedy_rel
+from repro.core.dindirect import d_indirect_haar, global_to_local, incoming_value
+from repro.core.dp_framework import (
+    LayeredDPDriver,
+    MinHaarSpaceDP,
+    MinHaarSpaceRestrictedDP,
+    RowDP,
+    dm_haar_space,
+)
+from repro.core.partitioning import (
+    Layer,
+    SubtreeSpec,
+    dp_layers,
+    local_to_global,
+    root_base_partition,
+)
+from repro.core.thresholding import ALGORITHMS, build_synopsis
+
+__all__ = [
+    "ALGORITHMS",
+    "Layer",
+    "LayeredDPDriver",
+    "MinHaarSpaceDP",
+    "MinHaarSpaceRestrictedDP",
+    "RowDP",
+    "SubtreeSpec",
+    "build_synopsis",
+    "con_synopsis",
+    "d_greedy_abs",
+    "d_greedy_rel",
+    "d_indirect_haar",
+    "dm_haar_space",
+    "dp_layers",
+    "global_to_local",
+    "h_wtopk_synopsis",
+    "incoming_value",
+    "local_to_global",
+    "root_base_partition",
+    "send_coef_synopsis",
+    "send_v_synopsis",
+]

@@ -1,0 +1,501 @@
+"""DGreedyAbs / DGreedyRel: the distributed greedy algorithms (Section 5).
+
+The error tree is split into one *root sub-tree* (nodes ``c_0..c_{R-1}``,
+processed at the driver) and ``R`` *base sub-trees* (Figure 4).  Because
+removals in different base sub-trees interact only through the root
+sub-tree, the algorithm:
+
+1. runs GreedyAbs on the root sub-tree over *virtual leaves* (one per base
+   sub-tree) and speculates ``min{R, B} + 1`` nested candidate retained
+   sets ``C_root`` (``genRootSets``, Algorithm 4);
+2. **job 1** — every level-1 worker (one per base sub-tree) replays
+   GreedyAbs once per *distinct incoming error* its sub-tree sees across
+   the candidates (at most ``log R + 2`` runs, Section 5.3), emitting
+   *error-bucketed histograms* (``discardNode``/ErrHistGreedyAbs,
+   Algorithm 3) instead of node lists — an int per bucket instead of the
+   nodes themselves;
+3. level-2 workers merge the histograms per candidate and read off the
+   best achievable error at rank ``B - |C_root|`` (``combineResults``,
+   Algorithm 5); the driver picks the winning candidate;
+4. **job 2** — each worker replays GreedyAbs once for the winning
+   candidate only, now emitting the actual nodes whose removal error
+   reaches the winning error, and the driver assembles the synopsis
+   (Algorithm 6).
+
+One refinement over the paper's Algorithm 5: a candidate's achievable
+error is floored by ``max_j |e_in,j|`` — the incoming error a base
+sub-tree cannot repair even when *all* its nodes are retained.  Each
+worker therefore also emits its run's initial error, and
+``combineResults`` takes the max of the rank error and that floor (the
+rank alone can under-report when one sub-tree's nodes are all retained).
+
+Setting ``metric="max_rel"`` swaps the GreedyRel engine in at both levels
+(Section 5.4); the harness and tests exercise both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algos.greedy_abs import GreedyAbsTree, GreedyRun
+from repro.algos.greedy_rel import GreedyRelTree
+from repro.exceptions import InvalidInputError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.hdfs import InputSplit, aligned_splits
+from repro.mapreduce.job import MapReduceJob
+from repro.core.partitioning import local_to_global, root_base_partition
+from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
+from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.transform import haar_transform, is_power_of_two
+
+__all__ = ["d_greedy_abs", "d_greedy_rel", "DEFAULT_BUCKET_WIDTH"]
+
+#: Default error-bucket width ``e_b`` of Algorithm 3.  Small enough that
+#: bucketing never visibly degrades quality; the ablation bench sweeps it.
+DEFAULT_BUCKET_WIDTH = 1e-6
+
+
+class _GreedyEngine:
+    """Strategy object: which greedy engine runs at the two worker levels."""
+
+    metric = "max_abs"
+
+    def root_run(self, root_coefficients, virtual_leaves) -> GreedyRun:
+        raise NotImplementedError
+
+    def base_run(self, local_coefficients, leaf_values, incoming_error: float) -> GreedyRun:
+        raise NotImplementedError
+
+
+class _AbsEngine(_GreedyEngine):
+    metric = "max_abs"
+
+    def root_run(self, root_coefficients, virtual_leaves) -> GreedyRun:
+        return GreedyAbsTree(root_coefficients, include_average=True).run_to_exhaustion()
+
+    def base_run(self, local_coefficients, leaf_values, incoming_error: float) -> GreedyRun:
+        size = len(local_coefficients)
+        return GreedyAbsTree(
+            local_coefficients,
+            initial_errors=[incoming_error] * size,
+            include_average=False,
+        ).run_to_exhaustion()
+
+
+class _RelEngine(_GreedyEngine):
+    metric = "max_rel"
+
+    def __init__(self, sanity_bound: float = DEFAULT_SANITY_BOUND):
+        if sanity_bound <= 0:
+            raise InvalidInputError("the sanity bound S must be strictly positive")
+        self.sanity_bound = sanity_bound
+
+    def root_run(self, root_coefficients, virtual_leaves) -> GreedyRun:
+        # Virtual-leaf denominators approximate each base sub-tree's data
+        # by its average (exact when the sub-tree is near-constant).
+        return GreedyRelTree(
+            root_coefficients,
+            virtual_leaves,
+            sanity_bound=self.sanity_bound,
+            include_average=True,
+        ).run_to_exhaustion()
+
+    def base_run(self, local_coefficients, leaf_values, incoming_error: float) -> GreedyRun:
+        size = len(local_coefficients)
+        return GreedyRelTree(
+            local_coefficients,
+            leaf_values,
+            sanity_bound=self.sanity_bound,
+            initial_errors=[incoming_error] * size,
+            include_average=False,
+        ).run_to_exhaustion()
+
+
+@dataclass
+class _Candidate:
+    """One speculative ``C_root``: the last ``retained_count`` removals."""
+
+    index: int  # == |C_root|
+    retained: dict[int, float]  # global node -> coefficient value
+    incoming: np.ndarray  # incoming signed error per base sub-tree
+
+
+def _candidate_incoming_errors(
+    root_run: GreedyRun, root_size: int, budget: int
+) -> list[_Candidate]:
+    """genRootSets (Algorithm 4) plus each candidate's incoming errors.
+
+    Candidates are the nested suffixes of the root removal order.  The
+    incoming error of virtual leaf ``j`` under a candidate equals the
+    accumulated signed error of that leaf after the corresponding prefix
+    of removals — replayed here exactly as the engine applied them.
+    """
+    removals = root_run.removals
+    total = len(removals)
+    max_retained = min(total, budget)
+
+    # errors[t] = per-virtual-leaf signed error after t removals.
+    errors = np.zeros(root_size, dtype=np.float64)
+    states = [errors.copy()]
+    for removal in removals:
+        node, value = removal.node, removal.value
+        if node == 0:
+            errors -= value
+        else:
+            level = node.bit_length() - 1
+            span = root_size >> level
+            lo = (node - (1 << level)) * span
+            mid, hi = lo + span // 2, lo + span
+            errors[lo:mid] -= value
+            errors[mid:hi] += value
+        states.append(errors.copy())
+
+    candidates = []
+    for retained_count in range(max_retained + 1):
+        cut = total - retained_count
+        retained = {r.node: r.value for r in removals[cut:]}
+        candidates.append(
+            _Candidate(
+                index=retained_count,
+                retained=retained,
+                incoming=states[cut],
+            )
+        )
+    return candidates
+
+
+def _bucketized_histogram(
+    run: GreedyRun, bucket_width: float
+) -> tuple[list[tuple[float, int, float]], float]:
+    """Algorithm 3 over a whole run, extended with per-bucket cut errors.
+
+    Nodes are appended to the running key-value while their bucketized
+    removal error does not exceed the current maximum; a new key-value
+    starts when a higher bucket appears.  Each bucket also records the
+    *cut error*: the sub-tree's actual error in the state where this
+    bucket and everything after it is retained (the actual error just
+    before the bucket's first node was discarded).  Because max-error
+    metrics are not monotone under removals, the cut error can be far
+    below the bucket's running max, and carrying it is what lets
+    ``combineResults`` consider retaining *fewer* than ``B - |C_root|``
+    nodes — mirroring the centralized keep-removing-past-``B`` rule.
+
+    Returns ``(buckets, final_error)`` where each bucket is
+    ``(bucket_error, node_count, cut_error)`` in chronological (ascending
+    bucket) order and ``final_error`` is the actual error with every node
+    of the sub-tree discarded.
+    """
+    histogram: list[tuple[float, int, float]] = []
+    max_error = -math.inf
+    count = 0
+    cut_error = run.initial_error
+    previous_actual = run.initial_error
+    for removal in run.removals:
+        bucket = math.floor(removal.error_after / bucket_width) * bucket_width
+        if bucket <= max_error:
+            count += 1
+        else:
+            if count:
+                histogram.append((max_error, count, cut_error))
+            max_error = bucket
+            count = 1
+            cut_error = previous_actual
+        previous_actual = removal.error_after
+    if count:
+        histogram.append((max_error, count, cut_error))
+    final_error = run.removals[-1].error_after if run.removals else run.initial_error
+    return histogram, final_error
+
+
+class _HistogramJob(MapReduceJob):
+    """Job 1: speculative ErrHistGreedyAbs runs on every base sub-tree."""
+
+    name = "dgreedy-histograms"
+
+    def __init__(
+        self,
+        engine: _GreedyEngine,
+        candidates: list[_Candidate],
+        budget: int,
+        bucket_width: float,
+        num_reducers: int,
+    ):
+        self.engine = engine
+        self.candidates = candidates
+        self.budget = budget
+        self.bucket_width = bucket_width
+        self.num_reducers = num_reducers
+
+    def map(self, split: InputSplit):
+        subtree_index = split.split_id
+        local = haar_transform(split.values)
+        local_coefficients = local.copy()
+        local_coefficients[0] = 0.0  # the average slot belongs to the root sub-tree
+
+        # Group candidates by the (few) distinct incoming errors they
+        # induce on this sub-tree: log R + 2 runs instead of |C| runs.
+        by_incoming: dict[float, list[int]] = {}
+        for candidate in self.candidates:
+            by_incoming.setdefault(
+                float(candidate.incoming[subtree_index]), []
+            ).append(candidate.index)
+
+        for incoming_error, candidate_ids in by_incoming.items():
+            run = self.engine.base_run(local_coefficients, split.values, incoming_error)
+            histogram, final_error = _bucketized_histogram(run, self.bucket_width)
+            for candidate_id in candidate_ids:
+                for bucket_error, count, cut_error in histogram:
+                    yield ("hist", candidate_id, subtree_index, bucket_error), (count, cut_error)
+                yield ("final", candidate_id, subtree_index), final_error
+
+    def partition(self, key, num_reducers: int) -> int:
+        # All key-values of one candidate go to the same level-2 worker.
+        return key[1] % num_reducers
+
+    def reduce_partition(self, records):
+        """combineResults (Algorithm 5), generalized to all cut thresholds.
+
+        For every candidate the sweep walks the merged bucket thresholds
+        from high to low: at threshold ``T`` each sub-tree retains its
+        nodes whose running-max bucket is ``>= T`` and sits at the
+        corresponding cut error.  Every feasible ``T`` (total retained
+        <= ``B - |C_root|``) is evaluated and the best kept — the paper's
+        single rank lookup is the lowest feasible threshold.
+        """
+        per_candidate: dict[int, dict[int, dict]] = {}
+        for key, payload in records:
+            candidate_id, subtree = key[1], key[2]
+            entry = per_candidate.setdefault(candidate_id, {}).setdefault(
+                subtree, {"buckets": [], "final": 0.0}
+            )
+            if key[0] == "hist":
+                bucket_error = key[3]
+                entry["buckets"].append((bucket_error, payload[0], payload[1]))
+            else:
+                entry["final"] = payload
+        for candidate_id, subtrees in per_candidate.items():
+            base_budget = self.budget - candidate_id
+            yield candidate_id, _best_cut_over_thresholds(subtrees, base_budget)
+
+
+def _best_cut_over_thresholds(
+    subtrees: dict[int, dict], base_budget: int
+) -> tuple[float, float]:
+    """Sweep thresholds high->low; return ``(best error, its threshold)``.
+
+    The sweep state starts at "retain nothing" (every sub-tree at its
+    final, all-removed error) and lowers the threshold bucket by bucket;
+    crossing a sub-tree's bucket retains that bucket's nodes and moves the
+    sub-tree to the bucket's cut error.
+    """
+    if base_budget < 0:
+        return math.inf, math.inf
+    current_error: dict[int, float] = {
+        subtree: entry["final"] for subtree, entry in subtrees.items()
+    }
+    events = sorted(
+        (
+            (bucket_error, subtree, count, cut_error)
+            for subtree, entry in subtrees.items()
+            for bucket_error, count, cut_error in entry["buckets"]
+        ),
+        key=lambda event: -event[0],
+    )
+    best_error = max(current_error.values(), default=0.0)
+    best_threshold = math.inf
+    retained = 0
+    position = 0
+    while position < len(events):
+        threshold = events[position][0]
+        # Apply every bucket at this threshold together.
+        while position < len(events) and events[position][0] == threshold:
+            _, subtree, count, cut_error = events[position]
+            retained += count
+            current_error[subtree] = cut_error
+            position += 1
+        if retained > base_budget:
+            break
+        error = max(current_error.values())
+        if error < best_error:
+            best_error = error
+            best_threshold = threshold
+    return best_error, best_threshold
+
+
+class _ConstructJob(MapReduceJob):
+    """Job 2: replay the winning candidate and emit the retained nodes.
+
+    The winning threshold from ``combineResults`` identifies the retained
+    set exactly: the nodes whose bucketized running-max removal error
+    reaches the threshold.  The replay is deterministic, so the counts
+    match job 1's histogram and no further driver-side ranking is needed.
+    """
+
+    name = "dgreedy-construct"
+    num_reducers = 1
+
+    def __init__(
+        self,
+        engine: _GreedyEngine,
+        winner: _Candidate,
+        threshold: float,
+        bucket_width: float,
+        n: int,
+    ):
+        self.engine = engine
+        self.winner = winner
+        self.threshold = threshold
+        self.bucket_width = bucket_width
+        self.n = n
+
+    def map(self, split: InputSplit):
+        if math.isinf(self.threshold):
+            return  # the winning cut retains no base nodes at all
+        subtree_index = split.split_id
+        local = haar_transform(split.values)
+        local_coefficients = local.copy()
+        local_coefficients[0] = 0.0
+        subtree_root = self.n // len(split) + subtree_index
+        incoming_error = float(self.winner.incoming[subtree_index])
+        run = self.engine.base_run(local_coefficients, split.values, incoming_error)
+        running_max = -math.inf
+        for removal in run.removals:
+            bucket = math.floor(removal.error_after / self.bucket_width) * self.bucket_width
+            running_max = max(running_max, bucket)
+            if running_max >= self.threshold:
+                global_node = local_to_global(subtree_root, removal.node)
+                yield global_node, removal.value
+
+    def reduce_partition(self, records):
+        yield from records
+
+
+def _distributed_greedy(
+    engine: _GreedyEngine,
+    data,
+    budget: int,
+    cluster: SimulatedCluster | None,
+    base_leaves: int,
+    bucket_width: float,
+    level2_workers: int,
+) -> WaveletSynopsis:
+    values = np.asarray(data, dtype=np.float64)
+    if values.ndim != 1 or not is_power_of_two(values.shape[0]):
+        raise InvalidInputError("data length must be a power of two")
+    if budget < 0:
+        raise InvalidInputError("budget must be non-negative")
+    if bucket_width <= 0:
+        raise InvalidInputError("bucket width must be strictly positive")
+    n = int(values.shape[0])
+    cluster = cluster or SimulatedCluster()
+    if base_leaves >= n:
+        base_leaves = n // 2
+    if base_leaves < 2:
+        raise InvalidInputError("data too small for a root/base partition")
+
+    root_size, _ = root_base_partition(n, base_leaves)
+    splits = aligned_splits(values, base_leaves)
+
+    # Pre-job: sub-tree averages -> root sub-tree coefficients.
+    class _AverageJob(MapReduceJob):
+        name = "dgreedy-averages"
+        num_reducers = 0
+
+        def map(self, split: InputSplit):
+            yield split.split_id, float(np.mean(split.values))
+
+    averages_result = cluster.run_job(_AverageJob(), splits)
+    averages = np.empty(root_size, dtype=np.float64)
+    for split_id, average in averages_result.output:
+        averages[split_id] = average
+
+    # Driver: GreedyAbs on the root sub-tree + genRootSets (Algorithm 4).
+    with cluster.driver():
+        root_coefficients = haar_transform(averages)
+        root_run = engine.root_run(root_coefficients, averages)
+        candidates = _candidate_incoming_errors(root_run, root_size, budget)
+
+    # Job 1: speculative histogram runs + combineResults.
+    histogram_job = _HistogramJob(
+        engine,
+        candidates,
+        budget,
+        bucket_width,
+        num_reducers=min(level2_workers, len(candidates)),
+    )
+    histogram_result = cluster.run_job(histogram_job, splits)
+    with cluster.driver():
+        best_candidate_id, (best_error, best_threshold) = min(
+            histogram_result.output,
+            key=lambda item: (item[1][0], item[0]),
+        )
+        winner = candidates[best_candidate_id]
+
+    # Job 2: construct the synopsis for the winning candidate.
+    construct_job = _ConstructJob(
+        engine, winner, threshold=best_threshold, bucket_width=bucket_width, n=n
+    )
+    construct_result = cluster.run_job(construct_job, splits)
+    with cluster.driver():
+        coefficients = dict(winner.retained)
+        for global_node, value in construct_result.output:
+            coefficients[global_node] = value
+
+    name = "DGreedyAbs" if engine.metric == "max_abs" else "DGreedyRel"
+    return WaveletSynopsis(
+        n=n,
+        coefficients=coefficients,
+        meta={
+            "algorithm": name,
+            "budget": budget,
+            "metric": engine.metric,
+            "claimed_error": best_error,
+            "root_retained": len(winner.retained),
+            "candidates": len(candidates),
+            "bucket_width": bucket_width,
+            "cluster": cluster.log.as_dict(),
+        },
+    )
+
+
+def d_greedy_abs(
+    data,
+    budget: int,
+    cluster: SimulatedCluster | None = None,
+    base_leaves: int = 1024,
+    bucket_width: float = DEFAULT_BUCKET_WIDTH,
+    level2_workers: int = 4,
+) -> WaveletSynopsis:
+    """DGreedyAbs (Algorithm 6): distributed max-abs greedy thresholding.
+
+    ``base_leaves`` is the paper's sub-tree size knob (Figure 5a),
+    ``bucket_width`` the ``e_b`` of Algorithm 3, and ``level2_workers``
+    the reducer count (the paper fixes four).
+    """
+    return _distributed_greedy(
+        _AbsEngine(), data, budget, cluster, base_leaves, bucket_width, level2_workers
+    )
+
+
+def d_greedy_rel(
+    data,
+    budget: int,
+    sanity_bound: float = DEFAULT_SANITY_BOUND,
+    cluster: SimulatedCluster | None = None,
+    base_leaves: int = 1024,
+    bucket_width: float = DEFAULT_BUCKET_WIDTH,
+    level2_workers: int = 4,
+) -> WaveletSynopsis:
+    """DGreedyRel (Section 5.4): distributed max-rel greedy thresholding."""
+    return _distributed_greedy(
+        _RelEngine(sanity_bound),
+        data,
+        budget,
+        cluster,
+        base_leaves,
+        bucket_width,
+        level2_workers,
+    )

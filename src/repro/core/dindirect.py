@@ -1,0 +1,222 @@
+"""DIndirectHaar: the distributed Algorithm 2.
+
+Drives the binary search of IndirectHaar with DMHaarSpace probes, plus the
+two extra bound jobs the paper describes (Section 4):
+
+* **lower bound** — the ``(B+1)``-largest coefficient magnitude: every
+  mapper emits its local top ``B+1`` magnitudes and its sub-tree average
+  (so the reducer can also rank the root sub-tree's coefficients);
+* **upper bound** — the max-abs error of the conventional ``B``-term
+  synopsis: the synopsis (built by the parallel CON algorithm) is
+  broadcast, and each mapper bottom-up evaluates its own data slice by
+  combining the synopsis's path coefficients above its sub-tree with the
+  retained coefficients inside it.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.algos.indirect_haar import indirect_haar_search
+from repro.core.conventional_dist import con_synopsis
+from repro.core.dp_framework import dm_haar_space
+from repro.exceptions import InvalidInputError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.hdfs import InputSplit, aligned_splits
+from repro.mapreduce.job import MapReduceJob
+from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.transform import haar_transform, inverse_haar_transform, is_power_of_two
+
+__all__ = ["incoming_value", "global_to_local", "d_indirect_haar"]
+
+
+def incoming_value(coefficients, subtree_root: int, n: int) -> float:
+    """Reconstructed value arriving at ``subtree_root`` from its ancestors.
+
+    Sums the retained coefficients on the path strictly above the
+    sub-tree: the sign of each ancestor is ``+1`` when the sub-tree hangs
+    off its left child, ``-1`` off its right (``c_0`` is always ``+1``).
+    """
+    if not 1 <= subtree_root < n:
+        raise InvalidInputError(f"sub-tree root {subtree_root} out of range")
+    getter = coefficients.get if hasattr(coefficients, "get") else lambda j, d=0.0: coefficients[j]
+    total = 0.0
+    node = subtree_root
+    while node > 1:
+        parent = node // 2
+        sign = 1.0 if node == 2 * parent else -1.0
+        total += sign * float(getter(parent, 0.0))
+        node = parent
+    total += float(getter(0, 0.0))
+    return total
+
+
+def global_to_local(subtree_root: int, node: int) -> int | None:
+    """Inverse of :func:`repro.core.partitioning.local_to_global`.
+
+    Returns the local index of global ``node`` inside the sub-tree rooted
+    at ``subtree_root``, or ``None`` when the node is not in that sub-tree.
+    """
+    if node < subtree_root:
+        return None
+    shift = node.bit_length() - subtree_root.bit_length()
+    if node >> shift != subtree_root:
+        return None
+    return (1 << shift) | (node - (subtree_root << shift))
+
+
+class _LowerBoundJob(MapReduceJob):
+    """Distributed ``(B+1)``-largest coefficient magnitude."""
+
+    name = "dindirect-lower-bound"
+    num_reducers = 1
+
+    def __init__(self, n: int, budget: int, split_size: int):
+        self.n = n
+        self.budget = budget
+        self.split_size = split_size
+
+    def map(self, split: InputSplit):
+        local = haar_transform(split.values)
+        magnitudes = np.abs(local[1:])
+        top = np.sort(magnitudes)[::-1][: self.budget + 1]
+        for value in top:
+            yield "mag", float(value)
+        yield "avg", (split.split_id, float(local[0]))
+
+    def reduce_partition(self, records):
+        magnitudes = []
+        averages = {}
+        for key, payload in records:
+            if key == "mag":
+                magnitudes.append(payload)
+            else:
+                split_id, average = payload
+                averages[split_id] = average
+        root_coeffs = haar_transform([averages[i] for i in range(len(averages))])
+        magnitudes.extend(abs(float(v)) for v in root_coeffs)
+        top = heapq.nlargest(self.budget + 1, magnitudes)
+        yield "bound", (top[-1] if len(top) > self.budget else 0.0)
+
+
+class _EvaluateSynopsisJob(MapReduceJob):
+    """Distributed max-abs evaluation of a broadcast synopsis."""
+
+    name = "dindirect-upper-bound"
+    num_reducers = 1
+
+    def __init__(self, n: int, retained: dict[int, float], split_size: int):
+        self.n = n
+        self.retained = retained
+        self.split_size = split_size
+
+    def map(self, split: InputSplit):
+        size = len(split)
+        subtree_root = self.n // size + split.split_id
+        local = np.zeros(size, dtype=np.float64)
+        local[0] = incoming_value(self.retained, subtree_root, self.n)
+        for node, value in self.retained.items():
+            local_node = global_to_local(subtree_root, node)
+            if local_node is not None and local_node < size:
+                local[local_node] = value
+        approximation = inverse_haar_transform(local)
+        yield "err", float(np.max(np.abs(approximation - split.values)))
+
+    def reduce(self, key, values):
+        yield key, max(values)
+
+
+def d_indirect_haar(
+    data,
+    budget: int,
+    delta: float,
+    cluster: SimulatedCluster | None = None,
+    subtree_leaves: int = 1024,
+    max_iterations: int = 48,
+    restricted: bool = False,
+) -> WaveletSynopsis:
+    """DIndirectHaar: Problem 1 at cluster scale (Algorithm 2 + Section 4).
+
+    Same search as :func:`repro.algos.indirect_haar.indirect_haar` with
+    every probe answered by DMHaarSpace.  The synopsis matches the
+    centralized IndirectHaar coefficient-for-coefficient because both the
+    bounds and the DP are computed exactly.
+    """
+    values = np.asarray(data, dtype=np.float64)
+    if values.ndim != 1 or not is_power_of_two(values.shape[0]):
+        raise InvalidInputError("data length must be a power of two")
+    if budget < 0:
+        raise InvalidInputError("budget must be non-negative")
+    n = int(values.shape[0])
+    cluster = cluster or SimulatedCluster()
+    split_size = min(subtree_leaves, n)
+
+    # Bound job 1: the conventional synopsis (parallel CON) ...
+    conventional = con_synopsis(values, budget, cluster, split_size=split_size)
+    # ... evaluated distributively for the upper bound.
+    if n > split_size:
+        evaluation = cluster.run_job(
+            _EvaluateSynopsisJob(n, conventional.coefficients, split_size),
+            aligned_splits(values, split_size),
+        )
+        error_high = max(err for _, err in evaluation.output)
+        lower = cluster.run_job(
+            _LowerBoundJob(n, budget, split_size), aligned_splits(values, split_size)
+        )
+        error_low = dict(lower.output)["bound"]
+    else:
+        with cluster.driver():
+            error_high = conventional.max_abs_error(values)
+            from repro.algos.conventional import largest_coefficient
+
+            error_low = largest_coefficient(haar_transform(values), budget + 1)
+
+    # The evaluation job reconstructs through float arithmetic; treat
+    # round-off-level errors as an exact conventional synopsis.
+    exactness = 1e-9 * (1.0 + float(np.max(np.abs(values))))
+    if error_high <= exactness:
+        conventional.meta.update({"algorithm": "DIndirectHaar", "dp_runs": 0})
+        return conventional
+
+    # Probes skip the top-down pass; only the winning bound is constructed.
+    probe_epsilons: dict[int, float] = {}
+
+    def solver(epsilon: float):
+        solution = dm_haar_space(
+            values,
+            epsilon,
+            delta,
+            cluster,
+            subtree_leaves=subtree_leaves,
+            construct=False,
+            restricted=restricted,
+        )
+        probe_epsilons[id(solution)] = epsilon
+        return solution
+
+    best, runs = indirect_haar_search(
+        solver, error_low, error_high, budget, delta, max_iterations
+    )
+    final = dm_haar_space(
+        values,
+        probe_epsilons[id(best)],
+        delta,
+        cluster,
+        subtree_leaves=subtree_leaves,
+        construct=True,
+        restricted=restricted,
+    )
+    synopsis = final.synopsis
+    synopsis.meta.update(
+        {
+            "algorithm": "DIndirectHaar",
+            "budget": budget,
+            "delta": delta,
+            "max_abs_error": final.max_error,
+            "dp_runs": runs,
+            "cluster": cluster.log.as_dict(),
+        }
+    )
+    return synopsis

@@ -1,0 +1,360 @@
+"""The DP parallelization framework of Section 4 (Algorithm 1).
+
+Any thresholding DP whose per-node state is an *M-row* combining two child
+rows can be distributed with this driver:
+
+1. the error tree is cut into layers of fixed-height sub-trees
+   (:func:`repro.core.partitioning.dp_layers`);
+2. one MapReduce job per layer, bottom-up: each map task runs the DP over
+   its sub-tree (leaf rows come from raw data at the bottom layer, from
+   the previous layer's emitted root rows above) and emits
+   ``(parent sub-tree, local root M-row)`` — the ``(j, M[j])`` key-values
+   of the paper; the shuffle regroups rows under the next layer's
+   sub-trees, preserving locality;
+3. the driver finalizes at the root, then a top-down pass of jobs re-enters
+   each sub-tree to select coefficients (the "additional step" of
+   Section 4), forwarding each sub-tree leaf's chosen incoming value to
+   the layer below.
+
+The DP itself is injected as a :class:`RowDP`; :class:`MinHaarSpaceDP`
+is the instantiation used by DMHaarSpace, and the framework's
+communication per layer is exactly Eq. 5 — ``|Layer_i|`` rows of
+``max |M[j]|`` bytes — because the rows themselves are what is shuffled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algos.minhaarspace import (
+    DualSolution,
+    MRow,
+    combine_rows,
+    compute_subtree_rows,
+    finalize_root,
+    leaf_row,
+    traceback_subtree,
+)
+from repro.exceptions import InfeasibleErrorBound, InvalidInputError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.hdfs import InputSplit, aligned_splits
+from repro.mapreduce.job import MapReduceJob
+from repro.core.partitioning import Layer, dp_layers, local_to_global
+from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.transform import is_power_of_two
+
+__all__ = ["RowDP", "MinHaarSpaceDP", "LayeredDPDriver", "dm_haar_space"]
+
+
+class RowDP:
+    """Interface of a row-based DP pluggable into the framework.
+
+    ``leaf_values`` lets value-dependent DPs (the restricted variant) see
+    the data under a sub-tree: raw data at the bottom layer, child
+    sub-tree *averages* above — from which the sub-tree's own Haar
+    coefficients are computable locally, so locality is preserved.
+    """
+
+    def leaf_row(self, value: float) -> MRow:
+        """Row of a raw data value."""
+        raise NotImplementedError
+
+    def subtree_rows(self, leaf_rows: list[MRow], leaf_values=None) -> list[MRow | None]:
+        """Run the DP bottom-up over one sub-tree; return all its rows."""
+        raise NotImplementedError
+
+    def finalize(self, root_row: MRow, overall_average: float = 0.0) -> tuple[int, float, int]:
+        """Close the recursion at ``c_0``: ``(cost, error, root choice)``."""
+        raise NotImplementedError
+
+    def traceback(self, rows: list[MRow | None], incoming: int) -> tuple[dict[int, float], list[int]]:
+        """Select coefficients in one sub-tree given its root's incoming value."""
+        raise NotImplementedError
+
+
+class MinHaarSpaceDP(RowDP):
+    """MinHaarSpace as a pluggable row DP (rows keyed by incoming value)."""
+
+    def __init__(self, epsilon: float, delta: float):
+        if delta <= 0:
+            raise InvalidInputError("delta must be strictly positive")
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+
+    def leaf_row(self, value: float) -> MRow:
+        return leaf_row(value, self.epsilon, self.delta)
+
+    def subtree_rows(self, leaf_rows: list[MRow], leaf_values=None) -> list[MRow | None]:
+        return compute_subtree_rows(leaf_rows, self.epsilon, self.delta)
+
+    def combine(self, left: MRow, right: MRow) -> MRow:
+        return combine_rows(left, right, self.epsilon, self.delta)
+
+    def finalize(self, root_row: MRow, overall_average: float = 0.0) -> tuple[int, float, int]:
+        return finalize_root(root_row, self.epsilon, self.delta)
+
+    def traceback(self, rows: list[MRow | None], incoming: int) -> tuple[dict[int, float], list[int]]:
+        return traceback_subtree(rows, incoming, self.delta)
+
+
+class MinHaarSpaceRestrictedDP(RowDP):
+    """The restricted-synopsis DP as a second framework instantiation.
+
+    Each node may only keep its own (grid-snapped) Haar coefficient.  The
+    coefficient of every sub-tree node is computed locally from the
+    sub-tree's leaf values (raw data at the bottom layer, child averages
+    above), so the framework's locality-preserving partitioning carries
+    over unchanged — the demonstration that Section 4 is DP-agnostic.
+    """
+
+    def __init__(self, epsilon: float, delta: float):
+        if delta <= 0:
+            raise InvalidInputError("delta must be strictly positive")
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+
+    def leaf_row(self, value: float) -> MRow:
+        return leaf_row(value, self.epsilon, self.delta)
+
+    def subtree_rows(self, leaf_rows: list[MRow], leaf_values=None) -> list[MRow | None]:
+        from repro.algos.minhaarspace import compute_subtree_rows_restricted
+        from repro.wavelet.transform import haar_transform
+
+        if leaf_values is None:
+            raise InvalidInputError("the restricted DP needs the sub-tree leaf values")
+        local_coefficients = haar_transform(np.asarray(leaf_values, dtype=np.float64))
+        return compute_subtree_rows_restricted(
+            leaf_rows, local_coefficients, self.epsilon, self.delta
+        )
+
+    def finalize(self, root_row: MRow, overall_average: float = 0.0) -> tuple[int, float, int]:
+        from repro.algos.minhaarspace import finalize_root_restricted
+
+        average_offset = int(round(overall_average / self.delta))
+        return finalize_root_restricted(root_row, average_offset, self.epsilon, self.delta)
+
+    def traceback(self, rows: list[MRow | None], incoming: int) -> tuple[dict[int, float], list[int]]:
+        return traceback_subtree(rows, incoming, self.delta)
+
+
+@dataclass
+class _BottomUpResult:
+    top_row: MRow
+    row_store: dict[tuple[int, int], list]
+    overall_average: float
+
+
+class _BottomUpLayerJob(MapReduceJob):
+    """One stage of Algorithm 1: run the DP over each sub-tree in parallel.
+
+    Map input: one split per sub-tree holding either raw data (bottom
+    layer) or the child root rows delivered by the previous stage.  The
+    map side caches the full row set for the later top-down pass (the
+    stand-in for persisting to HDFS) and emits the local root's row keyed
+    by the *parent* sub-tree.
+    """
+
+    def __init__(self, dp: RowDP, layer: Layer, row_store: dict, parent_leaf_count: int):
+        self.dp = dp
+        self.layer = layer
+        self.row_store = row_store
+        self.parent_leaf_count = parent_leaf_count
+        self.name = f"dp-layer-{layer.index}"
+        self.num_reducers = 0
+
+    def map(self, split: InputSplit):
+        spec = split.meta["spec"]
+        if self.layer.is_bottom:
+            leaf_values = np.asarray(split.values, dtype=np.float64)
+            leaf_rows = [self.dp.leaf_row(float(v)) for v in leaf_values]
+        else:
+            leaf_rows = split.meta["child_rows"]
+            leaf_values = np.asarray(split.meta["child_values"], dtype=np.float64)
+        rows = self.dp.subtree_rows(leaf_rows, leaf_values)
+        self.row_store[(self.layer.index, spec.root)] = rows
+        root_row = rows[1] if len(rows) > 1 else rows[0]
+        parent = spec.root // self.parent_leaf_count if not self.layer.is_top else 0
+        # The sub-tree average travels with the row: the layer above needs
+        # it to compute its own (value-dependent) node coefficients.
+        yield parent, (spec.root, root_row, float(np.mean(leaf_values)))
+
+
+class _TopDownLayerJob(MapReduceJob):
+    """Coefficient selection: re-enter each sub-tree with its incoming value."""
+
+    def __init__(self, dp: RowDP, layer: Layer, row_store: dict):
+        self.dp = dp
+        self.layer = layer
+        self.row_store = row_store
+        self.name = f"dp-traceback-{layer.index}"
+        self.num_reducers = 0
+
+    def map(self, split: InputSplit):
+        spec = split.meta["spec"]
+        incoming = split.meta["incoming"]
+        rows = self.row_store[(self.layer.index, spec.root)]
+        assignments, leaf_incomings = self.dp.traceback(rows, incoming)
+        for local_node, value in assignments.items():
+            yield "coef", (local_to_global(spec.root, local_node), value)
+        if not self.layer.is_bottom:
+            for child_root, child_incoming in zip(spec.child_roots(), leaf_incomings):
+                yield "incoming", (child_root, child_incoming)
+
+
+class LayeredDPDriver:
+    """Runs a :class:`RowDP` over the whole error tree via layered jobs."""
+
+    def __init__(self, dp: RowDP, cluster: SimulatedCluster, subtree_leaves: int = 1024):
+        if not is_power_of_two(subtree_leaves) or subtree_leaves < 2:
+            raise InvalidInputError("subtree_leaves must be a power of two >= 2")
+        self.dp = dp
+        self.cluster = cluster
+        self.subtree_leaves = subtree_leaves
+
+    def _layers(self, n: int) -> list[Layer]:
+        height = min(self.subtree_leaves.bit_length() - 1, n.bit_length() - 1)
+        return dp_layers(n, height)
+
+    def bottom_up(self, data: np.ndarray) -> _BottomUpResult:
+        """Algorithm 1: compute every sub-tree's rows, return the top row."""
+        n = int(data.shape[0])
+        layers = self._layers(n)
+        row_store: dict[tuple[int, int], list] = {}
+
+        splits: list[InputSplit] = []
+        bottom = layers[0]
+        for spec, split in zip(bottom.subtrees, aligned_splits(data, bottom.subtrees[0].leaf_count)):
+            split.meta["spec"] = spec
+            splits.append(split)
+
+        top_output = None
+        for layer in layers:
+            if layer.is_top:
+                parent_leaf_count = 1
+            else:
+                parent_leaf_count = layers[layer.index + 1].subtrees[0].leaf_count
+            job = _BottomUpLayerJob(self.dp, layer, row_store, parent_leaf_count)
+            result = self.cluster.run_job(job, splits)
+            if layer.is_top:
+                top_output = result.output
+                break
+            # Regroup emitted rows under the next layer's sub-trees.
+            next_layer = layers[layer.index + 1]
+            grouped: dict[int, dict[int, tuple]] = {spec.root: {} for spec in next_layer.subtrees}
+            for parent, (child_root, row, average) in result.output:
+                grouped[parent][child_root] = (row, average)
+            splits = []
+            for i, spec in enumerate(next_layer.subtrees):
+                children = grouped[spec.root]
+                ordered = [children[root] for root in spec.child_roots()]
+                splits.append(
+                    InputSplit(
+                        split_id=i,
+                        offset=0,
+                        values=np.empty(0),
+                        meta={
+                            "spec": spec,
+                            "child_rows": [row for row, _ in ordered],
+                            "child_values": [average for _, average in ordered],
+                        },
+                    )
+                )
+
+        (_, (_, top_row, overall_average)) = top_output[0]
+        return _BottomUpResult(
+            top_row=top_row, row_store=row_store, overall_average=overall_average
+        )
+
+    def top_down(self, data_length: int, row_store: dict, root_incoming: int) -> dict[int, float]:
+        """Select the synopsis coefficients layer by layer, top to bottom."""
+        layers = self._layers(data_length)
+        assignments: dict[int, float] = {}
+        incomings: dict[int, int] = {1: root_incoming}
+        for layer in reversed(layers):
+            splits = []
+            for i, spec in enumerate(layer.subtrees):
+                splits.append(
+                    InputSplit(
+                        split_id=i,
+                        offset=0,
+                        values=np.empty(0),
+                        meta={"spec": spec, "incoming": incomings[spec.root]},
+                    )
+                )
+            job = _TopDownLayerJob(self.dp, layer, row_store)
+            result = self.cluster.run_job(job, splits)
+            incomings = {}
+            for kind, payload in result.output:
+                if kind == "coef":
+                    node, value = payload
+                    assignments[int(node)] = float(value)
+                else:
+                    child_root, child_incoming = payload
+                    incomings[int(child_root)] = int(child_incoming)
+        return assignments
+
+
+def dm_haar_space(
+    data,
+    epsilon: float,
+    delta: float,
+    cluster: SimulatedCluster | None = None,
+    subtree_leaves: int = 1024,
+    construct: bool = True,
+    restricted: bool = False,
+) -> DualSolution:
+    """DMHaarSpace: the distributed MinHaarSpace (Section 4).
+
+    Semantically identical to :func:`repro.algos.minhaarspace.min_haar_space`
+    — the framework shuffles exact M-rows, so counts, errors, and the
+    selected synopsis all match the centralized run.  ``construct=False``
+    skips the top-down pass (enough for the probes of the binary search);
+    ``restricted=True`` swaps in the restricted-synopsis DP
+    (:class:`MinHaarSpaceRestrictedDP`).
+    """
+    values = np.asarray(data, dtype=np.float64)
+    if values.ndim != 1 or not is_power_of_two(values.shape[0]):
+        raise InvalidInputError("data length must be a power of two")
+    n = int(values.shape[0])
+    cluster = cluster or SimulatedCluster()
+    from repro.algos.minhaarspace import effective_delta
+
+    delta = effective_delta(epsilon, delta, n)
+    dp: RowDP = (
+        MinHaarSpaceRestrictedDP(epsilon, delta)
+        if restricted
+        else MinHaarSpaceDP(epsilon, delta)
+    )
+
+    if n == 1:
+        with cluster.driver():
+            from repro.algos.minhaarspace import min_haar_space, min_haar_space_restricted
+
+            solver = min_haar_space_restricted if restricted else min_haar_space
+            return solver(values, epsilon, delta)
+
+    driver = LayeredDPDriver(dp, cluster, subtree_leaves)
+    result = driver.bottom_up(values)
+    with cluster.driver():
+        size, error, chosen = dp.finalize(result.top_row, result.overall_average)
+
+    coefficients: dict[int, float] = {}
+    if construct:
+        if chosen != 0:
+            coefficients[0] = chosen * delta
+        coefficients.update(driver.top_down(n, result.row_store, chosen))
+
+    synopsis = WaveletSynopsis(
+        n=n,
+        coefficients=coefficients,
+        meta={
+            "algorithm": "DMHaarSpaceRestricted" if restricted else "DMHaarSpace",
+            "epsilon": epsilon,
+            "delta": delta,
+            "max_abs_error": error,
+            "constructed": construct,
+        },
+    )
+    return DualSolution(size=size, max_error=error, synopsis=synopsis)

@@ -1,0 +1,152 @@
+"""Locality-preserving error-tree partitioning (Section 4, Figures 3-4).
+
+Two disciplines:
+
+* :func:`dp_layers` — the hierarchical decomposition used by the DP
+  framework: the detail-node tree (rooted at ``c_1``) is cut into layers
+  of sub-trees of fixed height ``h``; each layer is one distributed stage
+  and the sub-tree counts follow Eq. 4.
+* :func:`root_base_partition` — the two-level split used by DGreedyAbs:
+  one *root sub-tree* (nodes ``c_0 .. c_{R-1}``) kept at the driver, plus
+  ``R`` *base sub-trees* rooted at nodes ``R .. 2R-1``, each owning
+  ``N / R`` contiguous data points (``N = R + R * S`` with
+  ``S = N/R - 1`` nodes per base sub-tree).
+
+Both preserve *sub-tree locality*: a worker's data is exactly the leaf
+set of its sub-tree, so the DP rows / greedy runs it produces are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidInputError
+from repro.wavelet.transform import is_power_of_two
+
+__all__ = [
+    "SubtreeSpec",
+    "Layer",
+    "dp_layers",
+    "root_base_partition",
+    "local_to_global",
+    "global_subtree_coefficients",
+]
+
+
+@dataclass(frozen=True)
+class SubtreeSpec:
+    """One sub-tree of a layer.
+
+    ``root`` is the global error-tree node index; ``leaf_count`` the number
+    of *items* below it in this layer — data points for the bottom layer,
+    lower sub-tree roots otherwise.
+    """
+
+    root: int
+    leaf_count: int
+
+    def child_roots(self) -> range:
+        """Global node indices of this sub-tree's layer-children."""
+        return range(self.root * self.leaf_count, (self.root + 1) * self.leaf_count)
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One stage of Algorithm 1: all sub-trees at a given depth band."""
+
+    index: int
+    subtrees: tuple[SubtreeSpec, ...]
+    is_bottom: bool
+    is_top: bool
+
+
+def dp_layers(n: int, height: int) -> list[Layer]:
+    """Partition an ``N``-point error tree into layers of height ``height``.
+
+    Returns layers bottom-up (index 0 processes raw data).  The top layer
+    always contains the single sub-tree rooted at ``c_1`` (``c_0`` is
+    handled by the driver's finalize step).  Layer sizes follow Eq. 4.
+    """
+    if not is_power_of_two(n):
+        raise InvalidInputError(f"N={n} is not a power of two")
+    if height < 1:
+        raise InvalidInputError("sub-tree height must be at least 1")
+    log_n = n.bit_length() - 1
+    if log_n == 0:
+        raise InvalidInputError("a 1-point dataset has no detail tree to partition")
+
+    # Depth bands bottom-up: the bottom band always has height ``height``
+    # (or everything, if the tree is shallow); the top band absorbs the
+    # remainder so it contains node c_1.
+    boundaries = list(range(log_n, 0, -height))  # e.g. log_n, log_n-h, ...
+    if boundaries[-1] != 0:
+        boundaries.append(0)
+    layers: list[Layer] = []
+    total = len(boundaries) - 1
+    for i in range(total):
+        lower, upper = boundaries[i], boundaries[i + 1]
+        band_height = lower - upper
+        roots_level = upper
+        subtrees = tuple(
+            SubtreeSpec(root=(1 << roots_level) + j, leaf_count=1 << band_height)
+            for j in range(1 << roots_level)
+        )
+        layers.append(
+            Layer(
+                index=i,
+                subtrees=subtrees,
+                is_bottom=(i == 0),
+                is_top=(i == total - 1),
+            )
+        )
+    return layers
+
+
+def root_base_partition(n: int, base_leaf_count: int) -> tuple[int, list[SubtreeSpec]]:
+    """The Figure-4 split: returns ``(R, base_subtrees)``.
+
+    ``R`` is the root sub-tree size (it holds nodes ``c_0 .. c_{R-1}``);
+    the ``R`` base sub-trees are rooted at ``c_R .. c_{2R-1}`` and own
+    ``base_leaf_count`` data points each.
+    """
+    if not is_power_of_two(n):
+        raise InvalidInputError(f"N={n} is not a power of two")
+    if not is_power_of_two(base_leaf_count):
+        raise InvalidInputError("base sub-tree leaf count must be a power of two")
+    if base_leaf_count >= n:
+        raise InvalidInputError(
+            f"base sub-tree leaf count {base_leaf_count} must be smaller than N={n}"
+        )
+    root_size = n // base_leaf_count
+    bases = [
+        SubtreeSpec(root=root_size + j, leaf_count=base_leaf_count)
+        for j in range(root_size)
+    ]
+    return root_size, bases
+
+
+def local_to_global(subtree_root: int, local_node: int) -> int:
+    """Map a local complete-tree node index to the global error-tree index.
+
+    Within the sub-tree rooted at global node ``g``, local node 1 is ``g``
+    itself, local children follow the usual ``2j``/``2j+1`` rule, so the
+    global index is ``g`` with the local node's positional bits appended.
+    """
+    if local_node < 1:
+        raise InvalidInputError("local node indices start at 1 (the sub-tree root)")
+    level = local_node.bit_length() - 1
+    return (subtree_root << level) | (local_node - (1 << level))
+
+
+def global_subtree_coefficients(coefficients, subtree_root: int, leaf_count: int):
+    """Extract the local coefficient array of one sub-tree.
+
+    Returns a length-``leaf_count`` list in local indexing (slot 0 unused)
+    from a *global* coefficient array — used by tests and by centralized
+    cross-checks; the distributed algorithms compute local coefficients
+    from their own data instead.
+    """
+    local = [0.0] * leaf_count
+    for local_node in range(1, leaf_count):
+        local[local_node] = float(coefficients[local_to_global(subtree_root, local_node)])
+    return local

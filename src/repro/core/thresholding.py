@@ -1,0 +1,124 @@
+"""The public facade: one entry point over every thresholding algorithm.
+
+:func:`build_synopsis` dispatches on algorithm name and metric, pads
+non-power-of-two inputs, and wires a simulated cluster through the
+distributed algorithms.  Downstream users who just want "a good max-error
+synopsis of this array" start here; the per-algorithm modules remain
+available for finer control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algos.conventional import conventional_synopsis
+from repro.algos.greedy_abs import greedy_abs
+from repro.algos.greedy_rel import greedy_rel
+from repro.algos.indirect_haar import indirect_haar
+from repro.core.conventional_dist import (
+    con_synopsis,
+    h_wtopk_synopsis,
+    send_coef_synopsis,
+    send_v_synopsis,
+)
+from repro.core.dgreedy import d_greedy_abs, d_greedy_rel
+from repro.core.dindirect import d_indirect_haar
+from repro.data.loader import pad_to_power_of_two
+from repro.exceptions import InvalidInputError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
+from repro.wavelet.synopsis import WaveletSynopsis
+
+__all__ = ["ALGORITHMS", "build_synopsis"]
+
+#: Algorithm registry: name -> (metric, distributed?).
+ALGORITHMS = {
+    "greedy-abs": ("max_abs", False),
+    "greedy-rel": ("max_rel", False),
+    "indirect-haar": ("max_abs", False),
+    "indirect-haar-restricted": ("max_abs", False),
+    "conventional": ("l2", False),
+    "dgreedy-abs": ("max_abs", True),
+    "dgreedy-rel": ("max_rel", True),
+    "dindirect-haar": ("max_abs", True),
+    "dindirect-haar-restricted": ("max_abs", True),
+    "con": ("l2", True),
+    "send-v": ("l2", True),
+    "send-coef": ("l2", True),
+    "h-wtopk": ("l2", True),
+}
+
+
+def build_synopsis(
+    data,
+    budget: int,
+    algorithm: str = "dgreedy-abs",
+    cluster: SimulatedCluster | None = None,
+    delta: float = 1.0,
+    sanity_bound: float = DEFAULT_SANITY_BOUND,
+    subtree_leaves: int = 1024,
+    pad: bool = True,
+) -> WaveletSynopsis:
+    """Build a ``budget``-coefficient wavelet synopsis of ``data``.
+
+    Parameters
+    ----------
+    data:
+        One-dimensional sequence.  Non-power-of-two lengths are zero-padded
+        when ``pad`` is True (queries on indices past the original length
+        return the padding).
+    budget:
+        Maximum number of retained coefficients ``B``.
+    algorithm:
+        One of :data:`ALGORITHMS`.  The default ``"dgreedy-abs"`` is the
+        paper's fastest max-error algorithm.
+    cluster:
+        Simulated cluster for the distributed algorithms (a default
+        40-map-slot cluster is created when omitted); its log ends up in
+        ``synopsis.meta["cluster"]`` where the algorithm records one.
+    delta:
+        Quantization step for the DP-based algorithms (quality knob).
+    sanity_bound:
+        The ``S`` of the relative error metric.
+    subtree_leaves:
+        Sub-tree size for the distributed partitionings.
+    """
+    if algorithm not in ALGORITHMS:
+        raise InvalidInputError(
+            f"unknown algorithm {algorithm!r}; choose one of {sorted(ALGORITHMS)}"
+        )
+    values = np.asarray(data, dtype=np.float64)
+    if pad:
+        values = pad_to_power_of_two(values)
+
+    if algorithm == "greedy-abs":
+        return greedy_abs(values, budget)
+    if algorithm == "greedy-rel":
+        return greedy_rel(values, budget, sanity_bound)
+    if algorithm == "indirect-haar":
+        return indirect_haar(values, budget, delta)
+    if algorithm == "indirect-haar-restricted":
+        return indirect_haar(values, budget, delta, restricted=True)
+    if algorithm == "conventional":
+        return conventional_synopsis(values, budget)
+
+    cluster = cluster or SimulatedCluster()
+    if algorithm == "dgreedy-abs":
+        return d_greedy_abs(values, budget, cluster, base_leaves=subtree_leaves)
+    if algorithm == "dgreedy-rel":
+        return d_greedy_rel(
+            values, budget, sanity_bound, cluster, base_leaves=subtree_leaves
+        )
+    if algorithm == "dindirect-haar":
+        return d_indirect_haar(values, budget, delta, cluster, subtree_leaves)
+    if algorithm == "dindirect-haar-restricted":
+        return d_indirect_haar(
+            values, budget, delta, cluster, subtree_leaves, restricted=True
+        )
+    if algorithm == "con":
+        return con_synopsis(values, budget, cluster, split_size=subtree_leaves)
+    if algorithm == "send-v":
+        return send_v_synopsis(values, budget, cluster, split_size=subtree_leaves)
+    if algorithm == "send-coef":
+        return send_coef_synopsis(values, budget, cluster, block_size=subtree_leaves)
+    return h_wtopk_synopsis(values, budget, cluster, block_size=subtree_leaves)

@@ -1,0 +1,33 @@
+"""Dataset generators: the paper's SYN workloads plus NYCT/WD surrogates."""
+
+from repro.data.loader import (
+    describe,
+    next_power_of_two,
+    pad_to_power_of_two,
+    truncate_to_power_of_two,
+)
+from repro.data.nyct import NYCT_TABLE3, nyct_dataset, nyct_partitions
+from repro.data.synthetic import (
+    DISTRIBUTIONS,
+    make_distribution,
+    uniform_dataset,
+    zipf_dataset,
+)
+from repro.data.wd import WD_TABLE3, wd_dataset, wd_partitions
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "NYCT_TABLE3",
+    "WD_TABLE3",
+    "describe",
+    "make_distribution",
+    "next_power_of_two",
+    "nyct_dataset",
+    "nyct_partitions",
+    "pad_to_power_of_two",
+    "truncate_to_power_of_two",
+    "uniform_dataset",
+    "wd_dataset",
+    "wd_partitions",
+    "zipf_dataset",
+]

@@ -1,0 +1,61 @@
+"""Dataset shaping utilities.
+
+The error tree is a complete binary tree, so every algorithm in this
+package expects power-of-two input lengths.  Real datasets rarely oblige;
+these helpers pad (with a constant, conventionally zero, as the paper's
+pipeline does when partitioning NYCT/WD) or truncate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidInputError
+from repro.wavelet.transform import is_power_of_two
+
+__all__ = ["next_power_of_two", "pad_to_power_of_two", "truncate_to_power_of_two", "describe"]
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two that is >= ``n``."""
+    if n <= 0:
+        raise InvalidInputError("n must be positive")
+    return 1 << (n - 1).bit_length()
+
+
+def pad_to_power_of_two(data, pad_value: float = 0.0) -> np.ndarray:
+    """Right-pad ``data`` with ``pad_value`` up to the next power of two."""
+    values = np.asarray(data, dtype=np.float64)
+    if values.ndim != 1:
+        raise InvalidInputError("data must be one-dimensional")
+    n = values.shape[0]
+    if n == 0:
+        raise InvalidInputError("data must be non-empty")
+    if is_power_of_two(n):
+        return values.copy()
+    padded = np.full(next_power_of_two(n), pad_value, dtype=np.float64)
+    padded[:n] = values
+    return padded
+
+
+def truncate_to_power_of_two(data) -> np.ndarray:
+    """Keep the longest power-of-two prefix of ``data``."""
+    values = np.asarray(data, dtype=np.float64)
+    if values.ndim != 1:
+        raise InvalidInputError("data must be one-dimensional")
+    n = values.shape[0]
+    if n == 0:
+        raise InvalidInputError("data must be non-empty")
+    keep = 1 << (n.bit_length() - 1)
+    return values[:keep].copy()
+
+
+def describe(data) -> dict[str, float]:
+    """Summary statistics in Table 3's format (records/avg/stdv/max)."""
+    values = np.asarray(data, dtype=np.float64)
+    return {
+        "records": int(values.shape[0]),
+        "avg": float(values.mean()),
+        "stdv": float(values.std()),
+        "max": float(values.max()),
+    }

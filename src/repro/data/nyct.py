@@ -1,0 +1,116 @@
+"""NYCT surrogate: the New York City taxi trip-time dataset of Table 3.
+
+The original data (``nycTaxiTripData2013``) is unavailable offline, so we
+generate a surrogate that reproduces the statistical structure the paper's
+experiments actually depend on (see DESIGN.md §3):
+
+* trip times in seconds, heavy-tailed lognormal around ~11 minutes,
+  capped at 10800 s (the 3-hour cap visible in Table 3's ``Max`` column);
+* the per-partition mean roughly halves as the partition doubles —
+  partitions share a prefix of real trips followed by a sparse/zero tail;
+* the 32M/64M partitions contain corrupt ~2^32 outliers (Table 3 reports
+  ``Max = 4294966`` and a huge standard deviation), which is what makes
+  NYCT hard to approximate and drives the large ``(ε/δ)²`` work factor of
+  the DP algorithms in Figure 8.
+
+All sizes are expressed as fractions of a configurable ``unit`` so the
+whole Table 3 family can be reproduced at laptop scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidInputError
+
+__all__ = ["nyct_dataset", "nyct_partitions", "NYCT_TABLE3"]
+
+#: Table 3 rows for the NYCT dataset: label -> (records, avg, stdv, max).
+NYCT_TABLE3 = {
+    "NYCT2M": (2_000_000, 672, 483.0, 10_800),
+    "NYCT4M": (4_000_000, 511, 519.5, 10_800),
+    "NYCT8M": (8_000_000, 255, 646.6, 10_800),
+    "NYCT16M": (16_000_000, 127, 745.0, 10_800),
+    "NYCT32M": (32_000_000, 63, 3_566.3, 4_293_410),
+    "NYCT64M": (64_000_000, 31, 25_410.3, 4_294_966),
+}
+
+#: Lognormal parameters fitted to the NYCT2M row (mean 672 s, stdv 483 s).
+_TRIP_MU = 6.297
+_TRIP_SIGMA = 0.645
+_TRIP_CAP = 10_800.0
+#: Corrupt records in the paper carry ~2^32 garbage values.
+_CORRUPT_VALUE = 4_294_966.0
+
+
+def nyct_dataset(
+    n: int,
+    real_fraction: float = 1.0,
+    corrupt_count: int = 0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate ``n`` surrogate NYCT trip-time records.
+
+    Parameters
+    ----------
+    n:
+        Number of records.
+    real_fraction:
+        Leading fraction of the array holding real (lognormal) trips; the
+        remainder is zero, emulating the sparse tails of the larger
+        Table 3 partitions.
+    corrupt_count:
+        Number of corrupt ~2^32 records sprinkled into the tail (the 32M+
+        partitions of Table 3).
+    seed:
+        RNG seed; the same seed yields the same dataset.
+    """
+    if n <= 0:
+        raise InvalidInputError("dataset size must be positive")
+    if not 0.0 < real_fraction <= 1.0:
+        raise InvalidInputError("real_fraction must be in (0, 1]")
+    if corrupt_count < 0 or corrupt_count > n:
+        raise InvalidInputError("corrupt_count out of range")
+
+    rng = np.random.default_rng(seed)
+    data = np.zeros(n, dtype=np.float64)
+    real_count = max(1, int(round(n * real_fraction)))
+    trips = rng.lognormal(mean=_TRIP_MU, sigma=_TRIP_SIGMA, size=real_count)
+    data[:real_count] = np.minimum(trips, _TRIP_CAP)
+    if corrupt_count:
+        tail_start = real_count
+        if tail_start >= n:  # no zero tail: corrupt anywhere
+            tail_start = 0
+        positions = rng.choice(np.arange(tail_start, n), size=corrupt_count, replace=False)
+        data[positions] = _CORRUPT_VALUE
+    return data
+
+
+def nyct_partitions(unit: int, doublings: int = 6, seed: int = 0) -> dict[str, np.ndarray]:
+    """Build the scaled Table 3 partition family.
+
+    ``unit`` plays the role of 2M records; partition ``k`` holds
+    ``unit * 2**k`` records.  Partitions share a generation recipe that
+    mirrors Table 3: the real-trip prefix stops growing after the second
+    partition (so the mean halves with each doubling), and the two largest
+    partitions receive corrupt outliers.
+
+    Returns a mapping from labels (``"NYCT2M"``-style, scaled) to arrays.
+    """
+    if unit < 8:
+        raise InvalidInputError("unit must be at least 8 records")
+    labels = list(NYCT_TABLE3)[:doublings]
+    partitions: dict[str, np.ndarray] = {}
+    for k, label in enumerate(labels):
+        size = unit * (2**k)
+        # Real prefix: everything for the first two partitions, then frozen
+        # at 2*unit so the mean halves with each further doubling.
+        real = min(size, 2 * unit) / size
+        # A couple of corrupt records suffice to reproduce the max/stdv
+        # blow-up of Table 3's 32M/64M rows; at laptop scale they also
+        # perturb the mean, which the paper-scale partitions don't see.
+        corrupt = 2 if k >= 4 else 0
+        partitions[label] = nyct_dataset(
+            size, real_fraction=real, corrupt_count=corrupt, seed=seed
+        )
+    return partitions

@@ -1,0 +1,92 @@
+"""Synthetic workload generators (the paper's SYN datasets).
+
+The paper's synthetic experiments draw data values in ``[0, M]`` with
+``M ∈ {1K, 100K, 1000K}`` from a uniform distribution or zipfian
+distributions with exponents 0.7 and 1.5.  Biased (zipfian) data
+concentrates mass on few values, which makes the series easier to
+approximate — the effect behind Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidInputError
+
+__all__ = ["uniform_dataset", "zipf_dataset", "DISTRIBUTIONS", "make_distribution"]
+
+#: Default number of distinct values used by the zipfian sampler's domain.
+_DEFAULT_DOMAIN = 4096
+
+
+def _validate(n: int, value_range: tuple[float, float]) -> tuple[float, float]:
+    if n <= 0:
+        raise InvalidInputError("dataset size must be positive")
+    low, high = float(value_range[0]), float(value_range[1])
+    if not low < high:
+        raise InvalidInputError(f"invalid value range [{low}, {high}]")
+    return low, high
+
+
+def uniform_dataset(n: int, value_range: tuple[float, float] = (0.0, 1000.0), seed: int = 0) -> np.ndarray:
+    """Draw ``n`` values uniformly from ``value_range``."""
+    low, high = _validate(n, value_range)
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=n)
+
+
+def zipf_dataset(
+    n: int,
+    exponent: float,
+    value_range: tuple[float, float] = (0.0, 1000.0),
+    seed: int = 0,
+    domain_size: int = _DEFAULT_DOMAIN,
+) -> np.ndarray:
+    """Draw ``n`` values from a truncated zipfian over ``value_range``.
+
+    The value domain is ``domain_size`` points spread evenly over the
+    range; the ``k``-th smallest value is drawn with probability
+    proportional to ``(k + 1) ** -exponent``.  Small values dominate, and
+    the skew grows with the exponent — zipf-1.5 data is far more biased
+    than zipf-0.7, matching the regimes of Figure 6.
+
+    Unlike ``numpy.random.zipf``, this sampler supports exponents below 1
+    (the distribution is truncated, so normalization is finite).
+    """
+    low, high = _validate(n, value_range)
+    if exponent <= 0:
+        raise InvalidInputError("zipf exponent must be positive")
+    if domain_size < 2:
+        raise InvalidInputError("zipf domain must contain at least 2 values")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    probabilities = weights / weights.sum()
+    domain = np.linspace(low, high, domain_size)
+    return rng.choice(domain, size=n, p=probabilities)
+
+
+def make_distribution(
+    name: str,
+    n: int,
+    value_range: tuple[float, float] = (0.0, 1000.0),
+    seed: int = 0,
+) -> np.ndarray:
+    """Dispatch by the distribution names used throughout the paper.
+
+    Supported names: ``"uniform"``, ``"zipf-0.7"``, ``"zipf-1.5"`` (or any
+    ``"zipf-<exponent>"``).
+    """
+    if name == "uniform":
+        return uniform_dataset(n, value_range, seed)
+    if name.startswith("zipf-"):
+        try:
+            exponent = float(name.split("-", 1)[1])
+        except ValueError as exc:
+            raise InvalidInputError(f"bad zipf distribution name: {name!r}") from exc
+        return zipf_dataset(n, exponent, value_range, seed)
+    raise InvalidInputError(f"unknown distribution {name!r}")
+
+
+#: The three distributions of the paper's synthetic evaluation.
+DISTRIBUTIONS = ("uniform", "zipf-0.7", "zipf-1.5")

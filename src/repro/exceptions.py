@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidInputError(ReproError, ValueError):
+    """An input array, budget, or parameter is malformed.
+
+    Raised, for example, when a data vector is empty, a budget is
+    non-positive, or a quantization step is not strictly positive.
+    """
+
+
+class NotPowerOfTwoError(InvalidInputError):
+    """A data vector's length is not a power of two.
+
+    The Haar error tree is a complete binary tree; use
+    :func:`repro.data.loader.pad_to_power_of_two` to pad arbitrary inputs.
+    """
+
+
+class MemoryBudgetExceeded(ReproError):
+    """A (simulated) centralized run needs more memory than the machine has.
+
+    The paper reports that the centralized GreedyAbs and IndirectHaar could
+    not run past 17M data points on an 8 GB machine.  The benchmark harness
+    models the same constraint and raises this error when a centralized
+    algorithm's estimated working set exceeds the configured budget.
+    """
+
+    def __init__(self, required_bytes, budget_bytes, algorithm=""):
+        self.required_bytes = int(required_bytes)
+        self.budget_bytes = int(budget_bytes)
+        self.algorithm = algorithm
+        super().__init__(
+            f"{algorithm or 'algorithm'} needs ~{self.required_bytes} bytes "
+            f"but only {self.budget_bytes} are available"
+        )
+
+
+class InfeasibleErrorBound(ReproError):
+    """No synopsis can satisfy the requested error bound.
+
+    Raised by the dual-problem solvers (MinHaarSpace and friends) when the
+    quantized search space admits no solution for the given ``epsilon``.
+    """
+
+
+class JobFailedError(ReproError):
+    """A MapReduce job failed (e.g. a task raised or failure injection hit)."""

@@ -1,0 +1,43 @@
+"""A small MapReduce engine: the Hadoop substrate of the reproduction.
+
+Real computation, simulated placement: jobs execute in-process with
+per-task timing; :class:`SimulatedCluster` then schedules the measured
+task times onto a configurable slot pool with Hadoop-like startup and
+shuffle costs.  See DESIGN.md §3 for why this substitution preserves the
+paper's experimental shapes.
+"""
+
+from repro.mapreduce.cluster import (
+    ClusterConfig,
+    MemoryModel,
+    SimulatedCluster,
+    makespan,
+    price_log,
+)
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hdfs import InputSplit, aligned_splits, block_splits
+from repro.mapreduce.job import MapReduceJob, stable_partition
+from repro.mapreduce.parallel import ThreadPoolRuntime, ThreadSafeFailureInjector
+from repro.mapreduce.runtime import FailureInjector, JobResult, LocalRuntime
+from repro.mapreduce.serde import estimate_size, record_size
+
+__all__ = [
+    "ClusterConfig",
+    "Counters",
+    "FailureInjector",
+    "InputSplit",
+    "JobResult",
+    "LocalRuntime",
+    "MapReduceJob",
+    "MemoryModel",
+    "SimulatedCluster",
+    "ThreadPoolRuntime",
+    "ThreadSafeFailureInjector",
+    "aligned_splits",
+    "block_splits",
+    "estimate_size",
+    "makespan",
+    "price_log",
+    "record_size",
+    "stable_partition",
+]

@@ -1,0 +1,199 @@
+"""The simulated Hadoop cluster: slots, startup overheads, and bandwidth.
+
+The paper's platform is a 9-machine Hadoop 2.6 cluster: 8 slaves with 5 map
+slots and 2 reduce slots each (40 map / 16 reduce slots total).  We keep the
+*placement semantics* of that platform and replace its hardware with a cost
+model:
+
+* every task occupies one slot for its **measured** runtime plus a fixed
+  task startup overhead (Hadoop container launch);
+* each job pays a fixed job startup overhead (job submission, scheduling);
+* the shuffle transfers its accounted bytes at a fixed bandwidth.
+
+The simulated wall-clock of a job is then::
+
+    job_startup + makespan(map tasks, map_slots)
+                + shuffle_bytes / bandwidth
+                + makespan(reduce tasks, reduce_slots)
+
+``makespan`` places tasks one by one on the earliest-available slot (FIFO,
+exactly Hadoop's default behaviour for a single job).  This reproduces the
+paper's structural results: flat runtimes while the cluster has spare slots,
+linear growth once tasks serialize (Fig. 5c/5d), overhead-dominated small
+partitions (Fig. 5a), and halved capacity ⇒ doubled runtime.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.exceptions import MemoryBudgetExceeded
+from repro.mapreduce.hdfs import InputSplit
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import JobResult, LocalRuntime
+
+__all__ = ["ClusterConfig", "SimulatedCluster", "MemoryModel", "makespan", "price_log"]
+
+
+def makespan(task_seconds: list[float], slots: int) -> float:
+    """FIFO makespan of ``task_seconds`` on ``slots`` identical slots."""
+    if not task_seconds:
+        return 0.0
+    if slots <= 0:
+        raise ValueError("slot count must be positive")
+    finish_times = [0.0] * min(slots, len(task_seconds))
+    heapq.heapify(finish_times)
+    for seconds in task_seconds:
+        earliest = heapq.heappop(finish_times)
+        heapq.heappush(finish_times, earliest + seconds)
+    return max(finish_times)
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs of the simulated platform (defaults mirror the paper's cluster).
+
+    Startup overheads are expressed in the same unit as measured task times.
+    Our scaled-down tasks run for milliseconds where Hadoop's ran for tens
+    of seconds, so the defaults keep Hadoop's *ratio* of startup overhead to
+    typical task time rather than its absolute seconds.
+    """
+
+    map_slots: int = 40
+    reduce_slots: int = 16
+    task_startup_seconds: float = 0.004
+    job_startup_seconds: float = 0.02
+    shuffle_bytes_per_second: float = 64e6
+
+    def scaled(self, **overrides) -> "ClusterConfig":
+        """Return a copy with some fields replaced."""
+        params = {
+            "map_slots": self.map_slots,
+            "reduce_slots": self.reduce_slots,
+            "task_startup_seconds": self.task_startup_seconds,
+            "job_startup_seconds": self.job_startup_seconds,
+            "shuffle_bytes_per_second": self.shuffle_bytes_per_second,
+        }
+        params.update(overrides)
+        return ClusterConfig(**params)
+
+
+@dataclass
+class RunLog:
+    """Accumulated history of one algorithm invocation on the cluster."""
+
+    jobs: list[JobResult] = field(default_factory=list)
+    driver_seconds: float = 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.driver_seconds + sum(job.simulated_seconds for job in self.jobs)
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return sum(job.shuffle_bytes for job in self.jobs)
+
+    @property
+    def job_count(self) -> int:
+        return len(self.jobs)
+
+    def as_dict(self) -> dict:
+        return {
+            "simulated_seconds": self.simulated_seconds,
+            "driver_seconds": self.driver_seconds,
+            "shuffle_bytes": self.shuffle_bytes,
+            "jobs": self.job_count,
+        }
+
+
+class SimulatedCluster:
+    """Runs jobs through :class:`LocalRuntime` and prices their placement."""
+
+    def __init__(self, config: ClusterConfig | None = None, runtime: LocalRuntime | None = None):
+        self.config = config or ClusterConfig()
+        self.runtime = runtime or LocalRuntime()
+        self.log = RunLog()
+
+    def reset(self) -> None:
+        """Start a fresh run log (call between algorithm invocations)."""
+        self.log = RunLog()
+
+    def job_simulated_seconds(self, result: JobResult) -> float:
+        """Price one executed job under the cluster's cost model."""
+        cfg = self.config
+        map_times = [t + cfg.task_startup_seconds for t in result.map_task_seconds]
+        reduce_times = [t + cfg.task_startup_seconds for t in result.reduce_task_seconds]
+        shuffle_seconds = result.shuffle_bytes / cfg.shuffle_bytes_per_second
+        return (
+            cfg.job_startup_seconds
+            + makespan(map_times, cfg.map_slots)
+            + shuffle_seconds
+            + makespan(reduce_times, cfg.reduce_slots)
+        )
+
+    def run_job(self, job: MapReduceJob, splits: list[InputSplit]) -> JobResult:
+        """Execute ``job`` and append it (with simulated time) to the log."""
+        result = self.runtime.run(job, splits)
+        result.simulated_seconds = self.job_simulated_seconds(result)
+        self.log.jobs.append(result)
+        return result
+
+    @contextmanager
+    def driver(self):
+        """Time a block of centralized driver-side work.
+
+        Driver work runs on the master node and is charged at face value
+        (no slot contention).  The paper's DGreedyAbs runs GreedyAbs on the
+        root sub-tree this way.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.log.driver_seconds += time.perf_counter() - start
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Simulated wall-clock of everything logged since the last reset."""
+        return self.log.simulated_seconds
+
+
+def price_log(log: RunLog, config: ClusterConfig) -> float:
+    """Re-price a recorded run under a different cluster configuration.
+
+    The cost model is a pure function of the measured task times and the
+    configuration, so the *same* workload can be placed on clusters of
+    different capacities without re-executing — the noise-free way to
+    produce "vs number of parallel tasks" sweeps (Figures 5c/5d).
+    """
+    pricer = SimulatedCluster(config)
+    return log.driver_seconds + sum(
+        pricer.job_simulated_seconds(job) for job in log.jobs
+    )
+
+
+class MemoryModel:
+    """Per-machine memory constraint for *centralized* algorithms.
+
+    The paper reports that GreedyAbs and IndirectHaar could not run past
+    17M points within 8 GB.  Benchmarks use this model to reproduce those
+    "did not run" cells: an algorithm declares its estimated working set
+    and the model raises :class:`MemoryBudgetExceeded` when it doesn't fit.
+    """
+
+    def __init__(self, budget_bytes: int):
+        if budget_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+        self.budget_bytes = int(budget_bytes)
+
+    def charge(self, required_bytes: int, algorithm: str = "") -> None:
+        """Raise :class:`MemoryBudgetExceeded` if the request does not fit."""
+        if required_bytes > self.budget_bytes:
+            raise MemoryBudgetExceeded(required_bytes, self.budget_bytes, algorithm)
+
+    def fits(self, required_bytes: int) -> bool:
+        """Return True when ``required_bytes`` fits in the budget."""
+        return required_bytes <= self.budget_bytes

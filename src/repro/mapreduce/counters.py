@@ -1,0 +1,52 @@
+"""Hadoop-style job counters.
+
+Counters aggregate integer statistics across tasks: records in/out, shuffle
+bytes, spilled records, and any algorithm-specific counts the jobs choose
+to emit (e.g. number of speculative GreedyAbs runs).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Mapping
+
+__all__ = ["Counters"]
+
+
+class Counters(Mapping):
+    """A mergeable bag of named integer counters."""
+
+    def __init__(self, initial: Mapping[str, int] | None = None):
+        self._values: dict[str, int] = defaultdict(int)
+        if initial:
+            for name, value in initial.items():
+                self._values[name] = int(value)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._values[name] += int(amount)
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter bag into this one."""
+        for name, value in other.items():
+            self._values[name] += value
+
+    def as_dict(self) -> dict[str, int]:
+        """Return a plain dict snapshot."""
+        return dict(self._values)
+
+    def __getitem__(self, name: str) -> int:
+        return self._values[name]
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._values.get(name, default)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({inner})"

@@ -1,0 +1,84 @@
+"""Input splits: the HDFS-block stand-in.
+
+Two split disciplines appear in the paper:
+
+* **sub-tree aligned** splits (CON, DGreedyAbs, the DP framework): each
+  mapper reads a contiguous, power-of-two sized portion of the data array
+  so that it owns a complete error sub-tree (Section 4 / Figure 3);
+* **block-aligned** splits (Send-Coef): each mapper takes as many data
+  points as fit in an HDFS block, with no power-of-two alignment
+  (Appendix A.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import InvalidInputError
+from repro.wavelet.transform import is_power_of_two
+
+__all__ = ["InputSplit", "aligned_splits", "block_splits"]
+
+
+@dataclass
+class InputSplit:
+    """One mapper's input: a contiguous slice of the data array.
+
+    ``offset`` is the index of the first data point; ``values`` are the
+    points themselves.  ``meta`` carries split-specific context (e.g. which
+    base sub-tree the split corresponds to).
+    """
+
+    split_id: int
+    offset: int
+    values: np.ndarray
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def serialized_size(self) -> int:
+        """Modeled on-disk size (used only for accounting, never shuffled)."""
+        return int(self.values.nbytes)
+
+
+def aligned_splits(data, split_size: int) -> list[InputSplit]:
+    """Partition ``data`` into power-of-two aligned splits of ``split_size``.
+
+    ``len(data)`` and ``split_size`` must both be powers of two with
+    ``split_size <= len(data)``, so every split is exactly the leaf set of
+    one error sub-tree (the locality-preserving partitioning of Section 4).
+    """
+    values = np.asarray(data, dtype=np.float64)
+    n = values.shape[0]
+    if not is_power_of_two(n):
+        raise InvalidInputError(f"data length {n} is not a power of two")
+    if not is_power_of_two(split_size):
+        raise InvalidInputError(f"split size {split_size} is not a power of two")
+    if split_size > n:
+        raise InvalidInputError(f"split size {split_size} exceeds data length {n}")
+    return [
+        InputSplit(split_id=i, offset=i * split_size, values=values[i * split_size : (i + 1) * split_size])
+        for i in range(n // split_size)
+    ]
+
+
+def block_splits(data, block_size: int) -> list[InputSplit]:
+    """Partition ``data`` into HDFS-style blocks of ``block_size`` points.
+
+    No power-of-two alignment is required (Send-Coef's discipline); the
+    final block may be short.
+    """
+    values = np.asarray(data, dtype=np.float64)
+    if block_size <= 0:
+        raise InvalidInputError("block size must be positive")
+    n = values.shape[0]
+    splits = []
+    for i, start in enumerate(range(0, n, block_size)):
+        splits.append(
+            InputSplit(split_id=i, offset=start, values=values[start : start + block_size])
+        )
+    return splits

@@ -1,0 +1,88 @@
+"""Job abstractions for the MapReduce runtime.
+
+A :class:`MapReduceJob` mirrors the Hadoop programming model the paper's
+algorithms were written against:
+
+* one **map task** per input split (the paper's mappers process whole
+  sub-trees, so task-level granularity is the natural unit here);
+* a **shuffle** that partitions map output by key, then sorts each
+  reducer's partition by ``sort_key``;
+* one **reduce task** per partition, seeing keys in sorted order.
+
+Jobs that need Hadoop's "whole sorted partition" pattern (the paper's
+``combineResults`` walks all key-values of its partition in error order)
+override :meth:`MapReduceJob.reduce_partition` instead of
+:meth:`MapReduceJob.reduce`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable, Iterator
+
+from repro.mapreduce.hdfs import InputSplit
+
+__all__ = ["MapReduceJob", "stable_partition"]
+
+
+def stable_partition(key, num_reducers: int) -> int:
+    """Deterministic default partitioner (CRC32 of the key's repr).
+
+    Python's built-in ``hash`` is randomized for strings across processes;
+    a CRC of the canonical repr keeps job placement reproducible.
+    """
+    return zlib.crc32(repr(key).encode("utf-8")) % num_reducers
+
+
+class MapReduceJob:
+    """Base class for jobs; subclasses override ``map`` and ``reduce``."""
+
+    #: Human-readable job name (shows up in job logs and reports).
+    name = "job"
+
+    #: Number of reduce tasks. ``0`` means a map-only job.
+    num_reducers = 1
+
+    #: Sort the keys of each reduce partition in descending order when True.
+    sort_descending = False
+
+    def map(self, split: InputSplit) -> Iterable[tuple]:
+        """Process one input split; yield ``(key, value)`` pairs."""
+        raise NotImplementedError
+
+    def combine(self, key, values: list) -> Iterable[tuple]:
+        """Optional map-side combiner; default is the identity."""
+        for value in values:
+            yield key, value
+
+    #: Set True when :meth:`combine` is overridden, to enable the map-side pass.
+    use_combiner = False
+
+    def partition(self, key, num_reducers: int) -> int:
+        """Route ``key`` to a reducer; default is a stable hash."""
+        return stable_partition(key, num_reducers)
+
+    def sort_key(self, key):
+        """Key used for the shuffle sort; default sorts on the key itself."""
+        return key
+
+    def reduce(self, key, values: list) -> Iterable[tuple]:
+        """Process one key group; yield output ``(key, value)`` pairs."""
+        raise NotImplementedError
+
+    def reduce_partition(self, records: list[tuple]) -> Iterator[tuple]:
+        """Process a whole sorted reduce partition.
+
+        ``records`` is the list of ``(key, value)`` pairs of this partition
+        sorted by ``sort_key``.  The default groups consecutive equal keys
+        and delegates to :meth:`reduce`.
+        """
+        index = 0
+        total = len(records)
+        while index < total:
+            key = records[index][0]
+            values = []
+            while index < total and records[index][0] == key:
+                values.append(records[index][1])
+                index += 1
+            yield from self.reduce(key, values)

@@ -1,0 +1,179 @@
+"""Execution engine for MapReduce jobs.
+
+The runtime executes a job in-process, task by task, and *measures* each
+task's CPU time.  It does not try to be a real cluster: parallelism is
+reintroduced afterwards by :mod:`repro.mapreduce.cluster`, which schedules
+the measured task times onto a configurable number of slots.  This split —
+real computation, simulated placement — is what lets a laptop reproduce the
+scaling *shapes* of a 9-node Hadoop deployment (see DESIGN.md §3).
+
+Failure injection (`FailureInjector`) emulates task attempts: a failed
+attempt is retried up to ``max_attempts`` times, as Hadoop's ApplicationMaster
+would, and the wasted attempt time is charged to the task.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import JobFailedError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hdfs import InputSplit
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.serde import record_size
+
+__all__ = ["FailureInjector", "JobResult", "LocalRuntime"]
+
+
+class FailureInjector:
+    """Randomly fails task attempts to exercise the retry machinery."""
+
+    def __init__(self, probability: float, seed: int = 0, max_attempts: int = 4):
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("failure probability must be in [0, 1)")
+        self.probability = probability
+        self.max_attempts = max_attempts
+        self._rng = np.random.default_rng(seed)
+
+    def attempt_fails(self) -> bool:
+        """Decide whether the next task attempt fails."""
+        return bool(self._rng.random() < self.probability)
+
+
+@dataclass
+class JobResult:
+    """Everything a job run produced, plus per-task measurements."""
+
+    job_name: str
+    output: list[tuple]
+    counters: Counters
+    map_task_seconds: list[float]
+    reduce_task_seconds: list[float]
+    shuffle_bytes: int
+    map_output_records: int
+    #: Filled in by the cluster model: simulated wall-clock of this job.
+    simulated_seconds: float = 0.0
+    #: Per-reducer outputs, in partition order (useful for debugging).
+    reducer_outputs: list[list[tuple]] = field(default_factory=list)
+
+
+class LocalRuntime:
+    """Runs jobs in-process with per-task timing and attempt retries."""
+
+    def __init__(self, failure_injector: FailureInjector | None = None):
+        self.failure_injector = failure_injector
+
+    def _run_attempts(self, task_callable, task_label: str) -> tuple[object, float]:
+        """Run one task with retries; return (result, total attempt seconds)."""
+        attempts = 0
+        total_seconds = 0.0
+        max_attempts = (
+            self.failure_injector.max_attempts if self.failure_injector else 1
+        )
+        while True:
+            attempts += 1
+            start = time.perf_counter()
+            failed = self.failure_injector is not None and self.failure_injector.attempt_fails()
+            if not failed:
+                result = task_callable()
+                total_seconds += time.perf_counter() - start
+                return result, total_seconds
+            # A failed attempt still burns (a fraction of) its runtime.
+            total_seconds += time.perf_counter() - start
+            if attempts >= max_attempts:
+                raise JobFailedError(
+                    f"task {task_label} failed after {attempts} attempts"
+                )
+
+    def run(self, job: MapReduceJob, splits: list[InputSplit]) -> JobResult:
+        """Execute ``job`` over ``splits`` and return its :class:`JobResult`."""
+        counters = Counters()
+        map_task_seconds: list[float] = []
+        all_map_output: list[tuple] = []
+        shuffle_bytes = 0
+
+        for split in splits:
+            def map_task(split=split):
+                output = list(job.map(split))
+                if job.use_combiner:
+                    grouped: dict = defaultdict(list)
+                    for key, value in output:
+                        grouped[_hashable(key)].append((key, value))
+                    combined = []
+                    for pairs in grouped.values():
+                        key = pairs[0][0]
+                        combined.extend(job.combine(key, [v for _, v in pairs]))
+                    output = combined
+                return output
+
+            output, seconds = self._run_attempts(map_task, f"{job.name}/map-{split.split_id}")
+            map_task_seconds.append(seconds)
+            counters.increment("map.input_records", len(split))
+            counters.increment("map.output_records", len(output))
+            for key, value in output:
+                shuffle_bytes += record_size(key, value)
+            all_map_output.extend(output)
+
+        counters.increment("shuffle.bytes", shuffle_bytes)
+
+        if job.num_reducers == 0:
+            # Map-only jobs still pay to write their output (HDFS), so the
+            # emitted bytes count as communication volume.
+            return JobResult(
+                job_name=job.name,
+                output=all_map_output,
+                counters=counters,
+                map_task_seconds=map_task_seconds,
+                reduce_task_seconds=[],
+                shuffle_bytes=shuffle_bytes,
+                map_output_records=len(all_map_output),
+            )
+
+        partitions: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
+        for key, value in all_map_output:
+            partitions[job.partition(key, job.num_reducers)].append((key, value))
+
+        reduce_task_seconds: list[float] = []
+        reducer_outputs: list[list[tuple]] = []
+        final_output: list[tuple] = []
+        for reducer_id, partition in enumerate(partitions):
+            def reduce_task(partition=partition):
+                ordered = sorted(
+                    partition,
+                    key=lambda record: job.sort_key(record[0]),
+                    reverse=job.sort_descending,
+                )
+                return list(job.reduce_partition(ordered))
+
+            output, seconds = self._run_attempts(
+                reduce_task, f"{job.name}/reduce-{reducer_id}"
+            )
+            reduce_task_seconds.append(seconds)
+            counters.increment("reduce.input_records", len(partition))
+            counters.increment("reduce.output_records", len(output))
+            reducer_outputs.append(output)
+            final_output.extend(output)
+
+        return JobResult(
+            job_name=job.name,
+            output=final_output,
+            counters=counters,
+            map_task_seconds=map_task_seconds,
+            reduce_task_seconds=reduce_task_seconds,
+            shuffle_bytes=shuffle_bytes,
+            map_output_records=len(all_map_output),
+            reducer_outputs=reducer_outputs,
+        )
+
+
+def _hashable(key):
+    """Map a key to something usable as a dict key for combining."""
+    try:
+        hash(key)
+        return key
+    except TypeError:
+        return repr(key)

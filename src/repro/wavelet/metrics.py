@@ -1,0 +1,72 @@
+"""Aggregate error measures for wavelet synopses (Eqs. 1-3 of the paper).
+
+All metrics compare a reconstructed (approximate) vector against the
+original data:
+
+* :func:`l2_error` — root-mean-squared error (Eq. 1);
+* :func:`max_abs_error` — maximum absolute error (Eq. 2), the target of
+  GreedyAbs / IndirectHaar and their distributed versions;
+* :func:`max_rel_error` — maximum relative error with a sanity bound ``S``
+  (Eq. 3), the target of GreedyRel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidInputError
+
+__all__ = [
+    "DEFAULT_SANITY_BOUND",
+    "signed_errors",
+    "l2_error",
+    "max_abs_error",
+    "max_rel_error",
+]
+
+#: Default sanity bound for the relative error metric.  The paper requires
+#: ``S > 0`` to prevent tiny data values from dominating the metric.
+DEFAULT_SANITY_BOUND = 1.0
+
+
+def _as_pair(data, approximation) -> tuple[np.ndarray, np.ndarray]:
+    original = np.asarray(data, dtype=np.float64)
+    approx = np.asarray(approximation, dtype=np.float64)
+    if original.shape != approx.shape:
+        raise InvalidInputError(
+            f"shape mismatch: data {original.shape} vs approximation {approx.shape}"
+        )
+    if original.ndim != 1:
+        raise InvalidInputError("metrics are defined over one-dimensional vectors")
+    return original, approx
+
+
+def signed_errors(data, approximation) -> np.ndarray:
+    """Return the signed accumulated errors ``err_i = d_hat_i - d_i``."""
+    original, approx = _as_pair(data, approximation)
+    return approx - original
+
+
+def l2_error(data, approximation) -> float:
+    """Root-mean-squared reconstruction error (Eq. 1)."""
+    original, approx = _as_pair(data, approximation)
+    return float(np.sqrt(np.mean((approx - original) ** 2)))
+
+
+def max_abs_error(data, approximation) -> float:
+    """Maximum absolute reconstruction error (Eq. 2)."""
+    original, approx = _as_pair(data, approximation)
+    return float(np.max(np.abs(approx - original)))
+
+
+def max_rel_error(data, approximation, sanity_bound: float = DEFAULT_SANITY_BOUND) -> float:
+    """Maximum relative reconstruction error with sanity bound ``S`` (Eq. 3).
+
+    Each value's absolute error is divided by ``max(|d_i|, S)``; ``S`` must
+    be strictly positive.
+    """
+    if sanity_bound <= 0:
+        raise InvalidInputError("the sanity bound S must be strictly positive")
+    original, approx = _as_pair(data, approximation)
+    denominators = np.maximum(np.abs(original), sanity_bound)
+    return float(np.max(np.abs(approx - original) / denominators))

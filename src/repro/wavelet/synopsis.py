@@ -1,0 +1,133 @@
+"""Wavelet synopses: sparse sets of retained coefficients.
+
+A :class:`WaveletSynopsis` is the output of every thresholding algorithm in
+this package.  It stores only the retained (non-zero) coefficients; all the
+others are implicitly zero.  Synopses support full reconstruction as well as
+``O(log N)`` point and range-sum queries, which is what makes them usable
+for approximate query processing.
+
+*Restricted* synopses retain original Haar coefficient values (GreedyAbs,
+conventional thresholding); *unrestricted* synopses may store arbitrary
+values at each node (MinHaarSpace and its distributed version).  Both
+reconstruct through the same error-tree semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import InvalidInputError
+from repro.wavelet import metrics
+from repro.wavelet.error_tree import reconstruct_range_sum, reconstruct_value
+from repro.wavelet.transform import inverse_haar_transform, is_power_of_two
+
+__all__ = ["WaveletSynopsis"]
+
+
+@dataclass
+class WaveletSynopsis:
+    """A sparse wavelet representation of an ``N``-point data vector.
+
+    Parameters
+    ----------
+    n:
+        Length of the underlying data vector (a power of two).
+    coefficients:
+        Mapping from error-tree node index to retained coefficient value.
+    meta:
+        Free-form provenance (algorithm name, parameters, job statistics).
+    """
+
+    n: int
+    coefficients: dict[int, float]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n):
+            raise InvalidInputError(f"N={self.n} is not a power of two")
+        cleaned = {}
+        for index, value in self.coefficients.items():
+            index = int(index)
+            if not 0 <= index < self.n:
+                raise InvalidInputError(
+                    f"coefficient index {index} out of range for N={self.n}"
+                )
+            value = float(value)
+            if value != 0.0:
+                cleaned[index] = value
+        self.coefficients = cleaned
+
+    @property
+    def size(self) -> int:
+        """Number of retained non-zero coefficients."""
+        return len(self.coefficients)
+
+    def dense(self) -> np.ndarray:
+        """Return the dense length-``N`` coefficient vector ``W_hat``."""
+        dense = np.zeros(self.n, dtype=np.float64)
+        for index, value in self.coefficients.items():
+            dense[index] = value
+        return dense
+
+    def reconstruct(self) -> np.ndarray:
+        """Reconstruct the full approximate data vector ``d_hat``."""
+        return inverse_haar_transform(self.dense())
+
+    def point_query(self, leaf: int) -> float:
+        """Approximate value of ``d_leaf`` in ``O(log N)`` time."""
+        return reconstruct_value(self.coefficients, leaf, self.n)
+
+    def range_sum(self, lo: int, hi: int) -> float:
+        """Approximate range sum ``d(lo:hi)`` (inclusive) in ``O(log N)``."""
+        return reconstruct_range_sum(self.coefficients, lo, hi, self.n)
+
+    def range_avg(self, lo: int, hi: int) -> float:
+        """Approximate range average over ``[lo, hi]`` (inclusive)."""
+        if lo > hi:
+            raise InvalidInputError(f"empty range [{lo}, {hi}]")
+        return self.range_sum(lo, hi) / (hi - lo + 1)
+
+    def max_abs_error(self, data) -> float:
+        """Maximum absolute reconstruction error against ``data``."""
+        return metrics.max_abs_error(data, self.reconstruct())
+
+    def max_rel_error(self, data, sanity_bound: float = metrics.DEFAULT_SANITY_BOUND) -> float:
+        """Maximum relative reconstruction error against ``data``."""
+        return metrics.max_rel_error(data, self.reconstruct(), sanity_bound)
+
+    def l2_error(self, data) -> float:
+        """Root-mean-squared reconstruction error against ``data``."""
+        return metrics.l2_error(data, self.reconstruct())
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to plain Python types (JSON-friendly)."""
+        return {
+            "n": self.n,
+            "coefficients": {str(k): v for k, v in sorted(self.coefficients.items())},
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "WaveletSynopsis":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            n=int(payload["n"]),
+            coefficients={int(k): float(v) for k, v in payload["coefficients"].items()},
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def same_coefficients(self, other: "WaveletSynopsis", tolerance: float = 0.0) -> bool:
+        """Return True if both synopses retain the same coefficient values."""
+        if self.n != other.n or set(self.coefficients) != set(other.coefficients):
+            return False
+        return all(
+            abs(value - other.coefficients[index]) <= tolerance
+            for index, value in self.coefficients.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        algo = self.meta.get("algorithm", "?")
+        return f"WaveletSynopsis(n={self.n}, size={self.size}, algorithm={algo!r})"

@@ -1,0 +1,188 @@
+"""The Haar wavelet transform in the *error-tree* convention of the paper.
+
+The transform of a length-``N`` (power of two) data vector ``A`` is an array
+``W`` of the same length where
+
+* ``W[0]`` is the overall average of ``A``;
+* ``W[1]`` is the single detail coefficient of the coarsest resolution;
+* level ``l`` (``l = 0 .. log2(N) - 1``) detail coefficients occupy indices
+  ``2**l .. 2**(l+1) - 1``, in order of increasing resolution.
+
+Each detail coefficient is computed as *(left average - right average) / 2*,
+matching Table 1 of the paper::
+
+    >>> haar_transform([5, 5, 0, 26, 1, 3, 14, 2]).tolist()
+    [7.0, 2.0, -4.0, -3.0, 0.0, -13.0, -1.0, 6.0]
+
+This is the non-normalized form used throughout the thresholding literature;
+:func:`normalized_significance` converts to the L2-relevant magnitude
+``|c_i| / sqrt(2**level(c_i))`` used by the conventional thresholding scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidInputError, NotPowerOfTwoError
+
+__all__ = [
+    "haar_transform",
+    "inverse_haar_transform",
+    "coefficient_level",
+    "coefficient_levels",
+    "normalized_significance",
+    "haar_basis_vector",
+    "is_power_of_two",
+    "decomposition_steps",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return ``True`` if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def _validate_length(n: int) -> None:
+    if n <= 0:
+        raise InvalidInputError("data vector must be non-empty")
+    if not is_power_of_two(n):
+        raise NotPowerOfTwoError(
+            f"data length {n} is not a power of two; pad the input first"
+        )
+
+
+def haar_transform(data) -> np.ndarray:
+    """Compute the Haar wavelet decomposition ``W_A`` of ``data``.
+
+    Parameters
+    ----------
+    data:
+        A one-dimensional sequence whose length is a power of two.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``W_A`` in error-tree order (overall average first, finest detail
+        coefficients last).
+    """
+    values = np.asarray(data, dtype=np.float64)
+    if values.ndim != 1:
+        raise InvalidInputError("data vector must be one-dimensional")
+    n = values.shape[0]
+    _validate_length(n)
+
+    out = np.empty(n, dtype=np.float64)
+    current = values
+    while current.shape[0] > 1:
+        half = current.shape[0] // 2
+        left = current[0::2]
+        right = current[1::2]
+        out[half : 2 * half] = (left - right) / 2.0
+        current = (left + right) / 2.0
+    out[0] = current[0]
+    return out
+
+
+def inverse_haar_transform(coefficients) -> np.ndarray:
+    """Reconstruct the original data vector from a full Haar decomposition.
+
+    Exact inverse of :func:`haar_transform` (up to floating-point rounding).
+    """
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    if coeffs.ndim != 1:
+        raise InvalidInputError("coefficient vector must be one-dimensional")
+    n = coeffs.shape[0]
+    _validate_length(n)
+
+    current = coeffs[:1].copy()
+    size = 1
+    while size < n:
+        details = coeffs[size : 2 * size]
+        expanded = np.empty(2 * size, dtype=np.float64)
+        expanded[0::2] = current + details
+        expanded[1::2] = current - details
+        current = expanded
+        size *= 2
+    return current
+
+
+def decomposition_steps(data) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return the per-resolution (averages, details) pairs of the transform.
+
+    The first element corresponds to the finest resolution, mirroring the
+    rows of Table 1 in the paper (read bottom-up).  Useful for examples and
+    debugging; :func:`haar_transform` is the efficient entry point.
+    """
+    values = np.asarray(data, dtype=np.float64)
+    _validate_length(values.shape[0])
+    steps = []
+    current = values
+    while current.shape[0] > 1:
+        left = current[0::2]
+        right = current[1::2]
+        averages = (left + right) / 2.0
+        details = (left - right) / 2.0
+        steps.append((averages, details))
+        current = averages
+    return steps
+
+
+def coefficient_level(index: int) -> int:
+    """Return the resolution level of coefficient ``c_index``.
+
+    Level 0 is the coarsest resolution.  Both the overall average ``c_0``
+    and the top detail coefficient ``c_1`` live at level 0 (their basis
+    vectors have identical norms), matching the significance formula of
+    Section 2.3.
+    """
+    if index < 0:
+        raise InvalidInputError("coefficient index must be non-negative")
+    if index == 0:
+        return 0
+    return index.bit_length() - 1
+
+
+def coefficient_levels(n: int) -> np.ndarray:
+    """Vectorized :func:`coefficient_level` for all indices ``0 .. n-1``."""
+    _validate_length(n)
+    indices = np.arange(n)
+    levels = np.zeros(n, dtype=np.int64)
+    nonzero = indices > 0
+    levels[nonzero] = np.floor(np.log2(indices[nonzero])).astype(np.int64)
+    return levels
+
+
+def normalized_significance(coefficients) -> np.ndarray:
+    """Return the significance ``c_i* = |c_i| / sqrt(2**level(c_i))``.
+
+    The conventional (L2-optimal) thresholding scheme retains the ``B``
+    coefficients with the greatest significance (Section 2.3).
+    """
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    levels = coefficient_levels(coeffs.shape[0])
+    return np.abs(coeffs) / np.sqrt(np.exp2(levels))
+
+
+def haar_basis_vector(index: int, n: int) -> np.ndarray:
+    """Return the (non-normalized) Haar basis vector of coefficient ``index``.
+
+    The reconstruction identity is ``A = sum_i W[i] * haar_basis_vector(i, N)``.
+    The vector of ``c_0`` is all ones; the vector of a detail coefficient is
+    ``+1`` over the left half of its support, ``-1`` over the right half and
+    ``0`` elsewhere.  (The *orthonormal* basis used by Send-Coef divides by
+    ``sqrt`` of the support size; see :mod:`repro.core.conventional_dist`.)
+    """
+    _validate_length(n)
+    if not 0 <= index < n:
+        raise InvalidInputError(f"coefficient index {index} out of range for N={n}")
+    vector = np.zeros(n, dtype=np.float64)
+    if index == 0:
+        vector[:] = 1.0
+        return vector
+    level = coefficient_level(index)
+    support = n >> level
+    start = (index - (1 << level)) * support
+    half = support // 2
+    vector[start : start + half] = 1.0
+    vector[start + half : start + support] = -1.0
+    return vector

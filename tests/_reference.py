@@ -1,0 +1,109 @@
+"""Naive reference implementations used to validate the optimized code.
+
+Everything here recomputes from definitions — O(N^2) or worse — and is
+only run on tiny inputs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.wavelet.error_tree import leaf_sign, node_leaf_range
+from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
+from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.transform import haar_transform
+
+
+def naive_greedy_abs_order(coefficients, initial_errors=None, include_average=True):
+    """Greedy discard order recomputing MA_k from Eq. 7 at every step."""
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    m = len(coeffs)
+    errors = np.zeros(m) if initial_errors is None else np.asarray(initial_errors, float).copy()
+    alive = set(range(m)) if include_average else set(range(1, m))
+    removals = []
+    while alive:
+        best = None
+        for k in sorted(alive):
+            c = coeffs[k]
+            lo, hi = node_leaf_range(k, m)
+            ma = max(abs(errors[j] - leaf_sign(k, j, m) * c) for j in range(lo, hi))
+            if best is None or (ma, k) < best[:2]:
+                best = (ma, k)
+        _, k = best
+        c = coeffs[k]
+        lo, hi = node_leaf_range(k, m)
+        for j in range(lo, hi):
+            errors[j] -= leaf_sign(k, j, m) * c
+        alive.discard(k)
+        removals.append((k, float(np.max(np.abs(errors)))))
+    return removals
+
+
+def naive_greedy_rel_order(
+    coefficients, leaf_values, sanity_bound=DEFAULT_SANITY_BOUND, initial_errors=None
+):
+    """Greedy discard order recomputing MR_k from Eq. 10 at every step."""
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    m = len(coeffs)
+    denominators = np.maximum(np.abs(np.asarray(leaf_values, float)), sanity_bound)
+    errors = np.zeros(m) if initial_errors is None else np.asarray(initial_errors, float).copy()
+    alive = set(range(m))
+    removals = []
+    while alive:
+        best = None
+        for k in sorted(alive):
+            c = coeffs[k]
+            lo, hi = node_leaf_range(k, m)
+            mr = max(
+                abs(errors[j] - leaf_sign(k, j, m) * c) / denominators[j]
+                for j in range(lo, hi)
+            )
+            if best is None or (mr, k) < best[:2]:
+                best = (mr, k)
+        _, k = best
+        c = coeffs[k]
+        lo, hi = node_leaf_range(k, m)
+        for j in range(lo, hi):
+            errors[j] -= leaf_sign(k, j, m) * c
+        alive.discard(k)
+        removals.append((k, float(np.max(np.abs(errors) / denominators))))
+    return removals
+
+
+def brute_force_restricted_optimum(data, budget):
+    """Exact best max-abs error over all <=budget subsets of coefficients.
+
+    Restricted synopses (original coefficient values) only; exponential —
+    use with N <= 16 and small budgets.
+    """
+    values = np.asarray(data, dtype=np.float64)
+    coeffs = haar_transform(values)
+    n = len(values)
+    candidates = [i for i in range(n)]
+    best_error = float(np.max(np.abs(values)))  # empty synopsis baseline
+    best_set: tuple = ()
+    for size in range(1, min(budget, n) + 1):
+        for subset in combinations(candidates, size):
+            synopsis = WaveletSynopsis(n, {i: float(coeffs[i]) for i in subset})
+            error = synopsis.max_abs_error(values)
+            if error < best_error:
+                best_error = error
+                best_set = subset
+    return best_error, best_set
+
+
+def brute_force_min_restricted_size(data, epsilon):
+    """Smallest restricted synopsis achieving max_abs <= epsilon."""
+    values = np.asarray(data, dtype=np.float64)
+    coeffs = haar_transform(values)
+    n = len(values)
+    if float(np.max(np.abs(values))) <= epsilon:
+        return 0
+    for size in range(1, n + 1):
+        for subset in combinations(range(n), size):
+            synopsis = WaveletSynopsis(n, {i: float(coeffs[i]) for i in subset})
+            if synopsis.max_abs_error(values) <= epsilon:
+                return size
+    return n

@@ -1,0 +1,93 @@
+"""Tests for the SynopsisStore AQP layer."""
+
+import numpy as np
+import pytest
+
+from repro.aqp import SynopsisStore
+from repro.exceptions import InvalidInputError, ReproError
+
+
+@pytest.fixture
+def store():
+    s = SynopsisStore()
+    rng = np.random.default_rng(0)
+    s.add("trips", rng.uniform(0, 1000, size=500), budget=64, algorithm="greedy-abs")
+    s.add("wind", rng.uniform(0, 360, size=300), budget=32, algorithm="conventional")
+    return s
+
+
+class TestRegistration:
+    def test_names_and_membership(self, store):
+        assert store.names() == ["trips", "wind"]
+        assert "trips" in store and "missing" not in store
+        assert len(store) == 2
+
+    def test_add_records_guarantee(self, store):
+        assert store.guarantee("trips") < float("inf")
+
+    def test_readding_replaces(self, store):
+        before = store.guarantee("trips")
+        store.add("trips", np.zeros(500), budget=4, algorithm="greedy-abs")
+        assert store.guarantee("trips") == 0.0
+        assert store.guarantee("trips") != before
+
+    def test_rejects_empty_series(self, store):
+        with pytest.raises(InvalidInputError):
+            store.add("bad", [], budget=4)
+
+    def test_unknown_series(self, store):
+        with pytest.raises(ReproError):
+            store.point("missing", 0)
+
+
+class TestQueries:
+    def test_point_within_guarantee(self, store):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(0, 1000, size=500)
+        fresh = SynopsisStore()
+        fresh.add("x", data, budget=64, algorithm="greedy-abs")
+        guarantee = fresh.guarantee("x")
+        for i in (0, 250, 499):
+            assert abs(fresh.point("x", i) - data[i]) <= guarantee + 1e-9
+
+    def test_range_queries(self, store):
+        total = store.range_sum("trips", 0, 99)
+        average = store.range_avg("trips", 0, 99)
+        assert average == pytest.approx(total / 100)
+
+    def test_range_bounds_contain_exact_sum(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(0, 1000, size=256)
+        fresh = SynopsisStore()
+        fresh.add("x", data, budget=32, algorithm="greedy-abs")
+        lo, hi = 10, 99
+        lower, upper = fresh.range_sum_bounds("x", lo, hi)
+        exact = data[lo : hi + 1].sum()
+        assert lower - 1e-6 <= exact <= upper + 1e-6
+
+    def test_out_of_bounds_rejected(self, store):
+        with pytest.raises(InvalidInputError):
+            store.point("trips", 500)  # original length, padding excluded
+        with pytest.raises(InvalidInputError):
+            store.range_sum("wind", 100, 399)
+        with pytest.raises(InvalidInputError):
+            store.range_sum("wind", 50, 40)
+
+
+class TestReportAndPersistence:
+    def test_report_rows(self, store):
+        rows = store.report()
+        assert [row["series"] for row in rows] == ["trips", "wind"]
+        assert all(row["ratio"] > 1 for row in rows)
+        assert rows[0]["length"] == 500
+
+    def test_save_load_roundtrip(self, store, tmp_path):
+        path = tmp_path / "store.json"
+        store.save(path)
+        loaded = SynopsisStore.load(path)
+        assert loaded.names() == store.names()
+        assert loaded.point("trips", 7) == pytest.approx(store.point("trips", 7))
+        assert loaded.guarantee("wind") == pytest.approx(store.guarantee("wind"))
+        # Original lengths preserved: bounds checks still apply.
+        with pytest.raises(InvalidInputError):
+            loaded.point("wind", 300)

@@ -1,0 +1,113 @@
+"""Tests for the benchmark harness and reporting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchSettings,
+    format_table,
+    format_value,
+    measure_centralized,
+    measure_distributed,
+    print_table,
+)
+from repro.mapreduce import ClusterConfig, MemoryModel, SimulatedCluster
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(float("nan")) == "-"
+        assert format_value(0.0) == "0"
+        assert format_value(12345.6) == "12,346"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(0.0001234) == "0.0001234"
+        assert format_value("text") == "text"
+        assert format_value(7) == "7"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert len({len(line) for line in lines[:2]}) == 1  # header == separator
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_print_table(self, capsys):
+        print_table("demo", [{"x": 1}])
+        captured = capsys.readouterr().out
+        assert "== demo ==" in captured and "x" in captured
+
+
+class TestBenchSettings:
+    def test_labels_follow_unit_scaling(self):
+        settings = BenchSettings(unit=1 << 11)
+        assert settings.label(1 << 11) == "2M"
+        assert settings.label(1 << 12) == "4M"
+        assert settings.label(1 << 16) == "64M"
+
+    def test_cluster_overrides(self):
+        settings = BenchSettings(cluster_config=ClusterConfig(map_slots=40))
+        cluster = settings.cluster(map_slots=10)
+        assert cluster.config.map_slots == 10
+        assert settings.cluster_config.map_slots == 40
+
+    def test_memory_model_scales_with_points(self):
+        small = BenchSettings(centralized_memory_points=100).memory_model()
+        large = BenchSettings(centralized_memory_points=1000).memory_model()
+        assert large.budget_bytes == 10 * small.budget_bytes
+
+
+class TestMeasurement:
+    def test_distributed_measurement_resets_cluster(self):
+        from repro.core import con_synopsis
+
+        data = np.random.default_rng(0).uniform(0, 10, size=64)
+        cluster = SimulatedCluster()
+        # Pre-pollute the log; measure must reset it.
+        cluster.log.driver_seconds = 99.0
+        result = measure_distributed(
+            "CON", 64, lambda c: con_synopsis(data, 8, c, split_size=16), cluster
+        )
+        assert result.seconds < 99.0
+        assert result.jobs == 1
+        assert result.extra["result"].size <= 8
+
+    def test_centralized_measurement_times_and_returns(self):
+        memory = MemoryModel(1000)
+        result = measure_centralized(
+            "toy", 8, lambda: sum(range(100)), memory, required_bytes=500
+        )
+        assert not result.oom
+        assert result.seconds >= 0
+        assert result.extra["result"] == 4950
+
+    def test_centralized_measurement_oom(self):
+        memory = MemoryModel(1000)
+        result = measure_centralized(
+            "toy", 8, lambda: 1 / 0, memory, required_bytes=2000
+        )
+        assert result.oom
+        assert result.seconds is None
+
+    def test_measurement_row_rendering(self):
+        settings = BenchSettings(unit=1 << 11)
+        from repro.bench import Measurement
+
+        ok = Measurement(algorithm="x", n=1 << 12, seconds=1.5, error=2.0)
+        assert ok.row(settings) == {
+            "size": "4M",
+            "algorithm": "x",
+            "seconds": 1.5,
+            "error": 2.0,
+            "note": "",
+        }
+        oom = Measurement(algorithm="x", n=1 << 12, seconds=None, oom=True)
+        assert oom.row(settings)["note"] == "OOM"

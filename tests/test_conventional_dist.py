@@ -1,0 +1,125 @@
+"""Tests for the four parallel conventional-synopsis algorithms (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.algos.conventional import conventional_synopsis
+from repro.core.conventional_dist import (
+    con_synopsis,
+    h_wtopk_synopsis,
+    send_coef_synopsis,
+    send_v_synopsis,
+)
+from repro.exceptions import InvalidInputError
+from repro.mapreduce import SimulatedCluster
+
+
+def uniform_data(n, seed=0):
+    return np.random.default_rng(seed).uniform(0, 1000, size=n)
+
+
+def assert_same_synopsis(a, b, tolerance=1e-6):
+    assert set(a.coefficients) == set(b.coefficients)
+    for index, value in a.coefficients.items():
+        assert b.coefficients[index] == pytest.approx(value, abs=tolerance)
+
+
+ALGORITHMS = [
+    ("CON", lambda d, b, c: con_synopsis(d, b, c, split_size=64)),
+    ("Send-V", lambda d, b, c: send_v_synopsis(d, b, c, split_size=100)),
+    ("Send-Coef", lambda d, b, c: send_coef_synopsis(d, b, c, block_size=100)),
+    ("H-WTopk", lambda d, b, c: h_wtopk_synopsis(d, b, c, block_size=100)),
+]
+
+
+class TestSynopsisEquality:
+    """Appendix A.5: all four produce exactly the same synopsis."""
+
+    @pytest.mark.parametrize("name,build", ALGORITHMS)
+    def test_matches_centralized(self, name, build):
+        data = uniform_data(512, seed=1)
+        budget = 64
+        expected = conventional_synopsis(data, budget)
+        assert_same_synopsis(build(data, budget, SimulatedCluster()), expected)
+
+    @pytest.mark.parametrize("name,build", ALGORITHMS)
+    def test_matches_centralized_small_budget(self, name, build):
+        data = uniform_data(512, seed=2)
+        expected = conventional_synopsis(data, 5)
+        assert_same_synopsis(build(data, 5, SimulatedCluster()), expected)
+
+    def test_all_four_identical_to_each_other(self):
+        data = uniform_data(256, seed=3)
+        results = [build(data, 32, SimulatedCluster()) for _, build in ALGORITHMS]
+        for other in results[1:]:
+            assert_same_synopsis(results[0], other)
+
+
+class TestCommunicationProfiles:
+    def test_con_shuffles_about_n_records(self):
+        data = uniform_data(1024, seed=4)
+        cluster = SimulatedCluster()
+        con_synopsis(data, 64, cluster, split_size=128)
+        job = cluster.log.jobs[0]
+        # N - #splits detail coefficients + #splits averages = N records.
+        assert job.map_output_records == 1024
+
+    def test_send_coef_shuffles_more_than_con(self):
+        # Appendix A.3: Send-Coef pays O(S(log N - log S)) per mapper.
+        data = uniform_data(1024, seed=5)
+        con_cluster, coef_cluster = SimulatedCluster(), SimulatedCluster()
+        con_synopsis(data, 64, con_cluster, split_size=128)
+        send_coef_synopsis(data, 64, coef_cluster, block_size=128)
+        assert (
+            coef_cluster.log.jobs[0].map_output_records
+            > con_cluster.log.jobs[0].map_output_records
+        )
+
+    def test_send_v_ships_raw_data(self):
+        data = uniform_data(512, seed=6)
+        cluster = SimulatedCluster()
+        send_v_synopsis(data, 16, cluster, split_size=128)
+        assert cluster.log.jobs[0].map_output_records == 512
+
+    def test_h_wtopk_runs_three_jobs(self):
+        data = uniform_data(512, seed=7)
+        cluster = SimulatedCluster()
+        h_wtopk_synopsis(data, 8, cluster, block_size=128)
+        assert cluster.log.job_count == 3
+
+    def test_h_wtopk_cheap_when_budget_small(self):
+        # Figure 11's premise: with tiny B, H-WTopk's pruning keeps the
+        # shuffle far below shipping all coefficients.
+        data = uniform_data(4096, seed=8)
+        topk_cluster = SimulatedCluster()
+        h_wtopk_synopsis(data, 5, topk_cluster, block_size=512)
+        coef_cluster = SimulatedCluster()
+        send_coef_synopsis(data, 5, coef_cluster, block_size=512)
+        assert topk_cluster.log.shuffle_bytes < coef_cluster.log.shuffle_bytes
+
+    def test_h_wtopk_explodes_when_budget_large(self):
+        # Figure 10's premise: with B = N/8 the extremes emission alone
+        # approaches the input size per mapper.
+        data = uniform_data(1024, seed=9)
+        cluster = SimulatedCluster()
+        synopsis = h_wtopk_synopsis(data, 128, cluster, block_size=256)
+        assert synopsis.meta["peak_records"] > 1024
+
+
+class TestValidation:
+    def test_budget_validation(self):
+        data = uniform_data(64)
+        with pytest.raises(InvalidInputError):
+            con_synopsis(data, -1)
+        with pytest.raises(InvalidInputError):
+            h_wtopk_synopsis(data, 0)
+
+    def test_power_of_two_validation(self):
+        with pytest.raises(InvalidInputError):
+            send_coef_synopsis(np.arange(100, dtype=float), 4)
+
+    def test_split_size_clamped(self):
+        data = uniform_data(64, seed=10)
+        synopsis = con_synopsis(data, 8, split_size=1024)
+        expected = conventional_synopsis(data, 8)
+        assert_same_synopsis(synopsis, expected)

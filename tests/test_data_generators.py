@@ -1,0 +1,191 @@
+"""Tests for dataset generators and shaping utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    describe,
+    make_distribution,
+    next_power_of_two,
+    nyct_dataset,
+    nyct_partitions,
+    pad_to_power_of_two,
+    truncate_to_power_of_two,
+    uniform_dataset,
+    wd_dataset,
+    wd_partitions,
+    zipf_dataset,
+)
+from repro.exceptions import InvalidInputError
+
+
+class TestSynthetic:
+    def test_uniform_range_and_size(self):
+        data = uniform_dataset(4096, (0.0, 1000.0), seed=1)
+        assert data.shape == (4096,)
+        assert data.min() >= 0.0 and data.max() <= 1000.0
+        assert data.mean() == pytest.approx(500.0, rel=0.05)
+
+    def test_uniform_deterministic(self):
+        a = uniform_dataset(64, seed=3)
+        b = uniform_dataset(64, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_uniform_seed_changes_data(self):
+        a = uniform_dataset(64, seed=3)
+        b = uniform_dataset(64, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_zipf_skew_increases_with_exponent(self):
+        mild = zipf_dataset(8192, 0.7, (0.0, 1000.0), seed=5)
+        strong = zipf_dataset(8192, 1.5, (0.0, 1000.0), seed=5)
+        # Stronger skew concentrates on small values -> smaller mean.
+        assert strong.mean() < mild.mean() < 500.0
+
+    def test_zipf_within_range(self):
+        data = zipf_dataset(1024, 1.5, (0.0, 100.0), seed=6)
+        assert data.min() >= 0.0 and data.max() <= 100.0
+
+    def test_zipf_supports_sub_one_exponent(self):
+        data = zipf_dataset(256, 0.7, seed=7)
+        assert data.shape == (256,)
+
+    def test_zipf_rejects_bad_exponent(self):
+        with pytest.raises(InvalidInputError):
+            zipf_dataset(16, 0.0)
+
+    def test_make_distribution_dispatch(self):
+        for name in ("uniform", "zipf-0.7", "zipf-1.5"):
+            data = make_distribution(name, 128, (0.0, 10.0), seed=1)
+            assert data.shape == (128,)
+        with pytest.raises(InvalidInputError):
+            make_distribution("gaussian", 128)
+        with pytest.raises(InvalidInputError):
+            make_distribution("zipf-abc", 128)
+
+    def test_rejects_empty_or_bad_range(self):
+        with pytest.raises(InvalidInputError):
+            uniform_dataset(0)
+        with pytest.raises(InvalidInputError):
+            uniform_dataset(8, (5.0, 5.0))
+
+
+class TestNYCT:
+    def test_basic_shape_and_cap(self):
+        data = nyct_dataset(4096, seed=1)
+        assert data.shape == (4096,)
+        assert data.min() >= 0.0
+        assert data.max() <= 10_800.0
+
+    def test_matches_table3_moments(self):
+        # The full-real partition should resemble the NYCT2M row:
+        # avg 672, stdv 483 (within generous tolerance for a surrogate).
+        data = nyct_dataset(1 << 16, seed=2)
+        assert data.mean() == pytest.approx(672, rel=0.1)
+        assert data.std() == pytest.approx(483, rel=0.25)
+
+    def test_zero_tail_halves_mean(self):
+        full = nyct_dataset(8192, real_fraction=1.0, seed=3)
+        half = nyct_dataset(8192, real_fraction=0.5, seed=3)
+        assert half.mean() == pytest.approx(full.mean() / 2, rel=0.15)
+        assert np.all(half[5000:] == 0.0)
+
+    def test_corrupt_records_blow_up_max(self):
+        data = nyct_dataset(4096, real_fraction=0.5, corrupt_count=4, seed=4)
+        assert data.max() == pytest.approx(4_294_966.0)
+        assert (data > 1e6).sum() == 4
+
+    def test_partition_family_shapes(self):
+        partitions = nyct_partitions(unit=512, doublings=6, seed=5)
+        sizes = [len(v) for v in partitions.values()]
+        assert sizes == [512 * 2**k for k in range(6)]
+        stats = {k: describe(v) for k, v in partitions.items()}
+        # Mean decays with size (Table 3 pattern) on the uncorrupted rows.
+        means = [stats[k]["avg"] for k in list(partitions)[:4]]
+        assert means[1] > means[2] > means[3]
+        # The corrupt rows blow up the standard deviation (Table 3's 32M+).
+        assert stats["NYCT32M"]["stdv"] > 10 * stats["NYCT16M"]["stdv"]
+        # The largest partitions contain the corrupt outliers.
+        assert stats["NYCT64M"]["max"] > 1e6
+        assert stats["NYCT8M"]["max"] <= 10_800.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidInputError):
+            nyct_dataset(0)
+        with pytest.raises(InvalidInputError):
+            nyct_dataset(8, real_fraction=0.0)
+        with pytest.raises(InvalidInputError):
+            nyct_dataset(8, corrupt_count=9)
+        with pytest.raises(InvalidInputError):
+            nyct_partitions(unit=4)
+
+
+class TestWD:
+    def test_shape_and_range(self):
+        data = wd_dataset(8192, seed=1)
+        assert data.shape == (8192,)
+        assert data.min() >= 0.0 and data.max() <= 655.0
+
+    def test_matches_table3_moments(self):
+        data = wd_dataset(1 << 16, seed=2)
+        assert data.mean() == pytest.approx(127, rel=0.25)
+        assert data.std() == pytest.approx(119, rel=0.35)
+
+    def test_is_smoother_than_nyct(self):
+        # The property Figure 9 depends on: WD's consecutive differences
+        # are far smaller (relative to scale) than NYCT's.
+        wd = wd_dataset(4096, seed=3)
+        taxi = nyct_dataset(4096, seed=3)
+        wd_roughness = np.abs(np.diff(wd)).mean() / max(wd.std(), 1.0)
+        taxi_roughness = np.abs(np.diff(taxi)).mean() / max(taxi.std(), 1.0)
+        assert wd_roughness < taxi_roughness / 3
+
+    def test_partition_family(self):
+        partitions = wd_partitions(unit=256, doublings=4, seed=4)
+        assert [len(v) for v in partitions.values()] == [256, 512, 1024, 2048]
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(wd_dataset(128, seed=9), wd_dataset(128, seed=9))
+
+    def test_validation(self):
+        with pytest.raises(InvalidInputError):
+            wd_dataset(0)
+
+
+class TestLoader:
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1000) == 1024
+        with pytest.raises(InvalidInputError):
+            next_power_of_two(0)
+
+    def test_pad(self):
+        padded = pad_to_power_of_two([1.0, 2.0, 3.0])
+        assert padded.tolist() == [1.0, 2.0, 3.0, 0.0]
+
+    def test_pad_custom_value(self):
+        padded = pad_to_power_of_two([1.0, 2.0, 3.0], pad_value=-1.0)
+        assert padded.tolist() == [1.0, 2.0, 3.0, -1.0]
+
+    def test_pad_noop_returns_copy(self):
+        original = np.array([1.0, 2.0])
+        padded = pad_to_power_of_two(original)
+        assert padded.tolist() == [1.0, 2.0]
+        padded[0] = 99.0
+        assert original[0] == 1.0
+
+    def test_truncate(self):
+        assert truncate_to_power_of_two([1.0, 2.0, 3.0]).tolist() == [1.0, 2.0]
+        assert truncate_to_power_of_two(np.arange(9)).shape == (8,)
+
+    def test_describe(self):
+        stats = describe([0.0, 10.0])
+        assert stats == {"records": 2, "avg": 5.0, "stdv": 5.0, "max": 10.0}
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInputError):
+            pad_to_power_of_two([])
+        with pytest.raises(InvalidInputError):
+            truncate_to_power_of_two([])

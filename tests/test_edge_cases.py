@@ -1,0 +1,161 @@
+"""Edge-case tests across modules: tiny inputs, boundary budgets, holes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algos.greedy_abs import GreedyRun, Removal, greedy_abs
+from repro.algos.minhaarspace import MRow, min_haar_space
+from repro.core.dgreedy import _best_cut_over_thresholds, d_greedy_abs
+from repro.core.dindirect import _EvaluateSynopsisJob, _LowerBoundJob
+from repro.core.partitioning import dp_layers
+from repro.exceptions import InvalidInputError
+from repro.mapreduce import LocalRuntime, aligned_splits
+from repro.wavelet.transform import haar_transform
+
+
+class TestGreedyRunEdges:
+    def test_best_cut_with_zero_budget(self):
+        run = GreedyRun(
+            removals=[Removal(1, 2.0, 5.0), Removal(0, 1.0, 3.0)], initial_error=0.0
+        )
+        step, error = run.best_cut(0)
+        # Must cut at the end: nothing can be retained.
+        assert step == 2 and error == 3.0
+
+    def test_best_cut_with_empty_run(self):
+        run = GreedyRun(removals=[], initial_error=1.5)
+        assert run.best_cut(4) == (0, 1.5)
+
+    def test_best_cut_budget_exceeding_removals(self):
+        run = GreedyRun(removals=[Removal(1, 2.0, 5.0)], initial_error=0.0)
+        step, error = run.best_cut(10)
+        assert step == 0 and error == 0.0
+
+
+class TestThresholdSweepEdges:
+    def test_negative_base_budget_is_infeasible(self):
+        error, threshold = _best_cut_over_thresholds({}, -1)
+        assert math.isinf(error) and math.isinf(threshold)
+
+    def test_zero_budget_keeps_nothing(self):
+        subtrees = {
+            0: {"buckets": [(5.0, 3, 1.0)], "final": 7.0},
+            1: {"buckets": [(2.0, 2, 0.5)], "final": 4.0},
+        }
+        error, threshold = _best_cut_over_thresholds(subtrees, 0)
+        assert error == 7.0  # max of final errors
+        assert math.isinf(threshold)
+
+    def test_sweep_prefers_non_monotone_improvement(self):
+        # Retaining the high-error bucket moves subtree 0 to cut error 1.0,
+        # improving on the "retain nothing" state.
+        subtrees = {
+            0: {"buckets": [(9.0, 1, 1.0)], "final": 9.0},
+            1: {"buckets": [], "final": 2.0},
+        }
+        error, threshold = _best_cut_over_thresholds(subtrees, 1)
+        assert error == 2.0 and threshold == 9.0
+
+    def test_budget_cuts_off_partial_threshold(self):
+        subtrees = {
+            0: {"buckets": [(9.0, 5, 1.0)], "final": 9.0},
+        }
+        # Budget below the bucket count: cannot cross the threshold.
+        error, threshold = _best_cut_over_thresholds(subtrees, 3)
+        assert error == 9.0 and math.isinf(threshold)
+
+
+class TestTinyInputs:
+    def test_greedy_on_two_points(self):
+        synopsis = greedy_abs([10.0, 4.0], 1)
+        assert synopsis.size <= 1
+        assert synopsis.max_abs_error([10.0, 4.0]) <= 7.0
+
+    def test_dgreedy_on_four_points(self):
+        data = np.array([1.0, 5.0, 9.0, 13.0])
+        synopsis = d_greedy_abs(data, 2, base_leaves=2)
+        assert synopsis.size <= 2
+
+    def test_min_haar_space_two_points(self):
+        solution = min_haar_space([0.0, 100.0], 1.0, 0.5)
+        assert solution.size == 2
+
+    def test_dp_layers_minimal_tree(self):
+        layers = dp_layers(2, 1)
+        assert len(layers) == 1
+        assert layers[0].subtrees[0].root == 1
+
+
+class TestMRowEdges:
+    def test_entry_out_of_domain(self):
+        row = MRow(
+            start=5,
+            counts=np.zeros(3, dtype=np.int32),
+            errors=np.zeros(3),
+            choices=np.zeros(3, dtype=np.int64),
+        )
+        assert row.entry(5) == (0, 0.0)
+        assert row.entry(7) == (0, 0.0)
+        with pytest.raises(InvalidInputError):
+            row.entry(8)
+        with pytest.raises(InvalidInputError):
+            row.entry(4)
+
+    def test_end_property(self):
+        row = MRow(
+            start=-2,
+            counts=np.zeros(4, dtype=np.int32),
+            errors=np.zeros(4),
+            choices=np.zeros(4, dtype=np.int64),
+        )
+        assert row.end == 1
+        assert len(row) == 4
+
+
+class TestDIndirectBoundJobs:
+    def test_lower_bound_job_finds_global_rank(self):
+        data = np.array([5, 5, 0, 26, 1, 3, 14, 2], dtype=float)
+        job = _LowerBoundJob(n=8, budget=2, split_size=4)
+        result = LocalRuntime().run(job, aligned_splits(data, 4))
+        bound = dict(result.output)["bound"]
+        # |coefficients| = [7,2,4,3,0,13,1,6]; 3rd largest is 6.
+        assert bound == pytest.approx(6.0)
+
+    def test_evaluate_job_matches_direct_evaluation(self):
+        data = np.random.default_rng(4).uniform(0, 100, size=64)
+        coefficients = haar_transform(data)
+        retained = {i: float(coefficients[i]) for i in (0, 1, 2, 5, 9)}
+        job = _EvaluateSynopsisJob(64, retained, split_size=16)
+        result = LocalRuntime().run(job, aligned_splits(data, 16))
+        measured = max(err for _, err in result.output)
+        from repro.wavelet.synopsis import WaveletSynopsis
+
+        expected = WaveletSynopsis(64, retained).max_abs_error(data)
+        assert measured == pytest.approx(expected, abs=1e-9)
+
+    def test_evaluate_job_with_empty_synopsis(self):
+        data = np.random.default_rng(5).uniform(0, 100, size=32)
+        job = _EvaluateSynopsisJob(32, {}, split_size=8)
+        result = LocalRuntime().run(job, aligned_splits(data, 8))
+        measured = max(err for _, err in result.output)
+        assert measured == pytest.approx(float(np.max(np.abs(data))))
+
+
+class TestHWTopkEdges:
+    def test_single_mapper_degenerates_gracefully(self):
+        from repro.algos.conventional import conventional_synopsis
+        from repro.core.conventional_dist import h_wtopk_synopsis
+
+        data = np.random.default_rng(6).uniform(0, 100, size=64)
+        synopsis = h_wtopk_synopsis(data, 8, block_size=64)  # one block
+        expected = conventional_synopsis(data, 8)
+        assert set(synopsis.coefficients) == set(expected.coefficients)
+
+    def test_budget_larger_than_distinct_coefficients(self):
+        from repro.core.conventional_dist import h_wtopk_synopsis
+
+        data = np.full(16, 3.0)  # only c_0 is non-zero
+        synopsis = h_wtopk_synopsis(data, 8, block_size=4)
+        assert synopsis.coefficients == {0: pytest.approx(3.0)}

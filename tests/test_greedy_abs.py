@@ -1,0 +1,157 @@
+"""Tests for GreedyAbs: engine invariants and agreement with the naive oracle."""
+
+import numpy as np
+import pytest
+
+from repro.algos.greedy_abs import GreedyAbsTree, greedy_abs, greedy_abs_order
+from repro.exceptions import InvalidInputError
+from repro.wavelet.transform import haar_transform
+
+from tests._reference import naive_greedy_abs_order
+
+PAPER_DATA = np.array([5, 5, 0, 26, 1, 3, 14, 2], dtype=float)
+
+
+class TestEngineAgainstOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_naive_order_and_errors(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 100, size=16).astype(float)
+        coeffs = haar_transform(data)
+        fast = [(r.node, r.error_after) for r in greedy_abs_order(coeffs).removals]
+        slow = naive_greedy_abs_order(coeffs)
+        assert [n for n, _ in fast] == [n for n, _ in slow]
+        np.testing.assert_allclose(
+            [e for _, e in fast], [e for _, e in slow], atol=1e-9
+        )
+
+    def test_matches_naive_with_incoming_error(self):
+        rng = np.random.default_rng(99)
+        data = rng.integers(0, 50, size=8).astype(float)
+        coeffs = haar_transform(data)
+        coeffs[0] = 0.0  # base sub-trees carry no average slot
+        incoming = [7.5] * 8
+        fast = [
+            (r.node, r.error_after)
+            for r in greedy_abs_order(coeffs, incoming, include_average=False).removals
+        ]
+        slow = naive_greedy_abs_order(coeffs, incoming, include_average=False)
+        assert [n for n, _ in fast] == [n for n, _ in slow]
+        np.testing.assert_allclose([e for _, e in fast], [e for _, e in slow], atol=1e-9)
+
+    def test_paper_root_subtree_order(self):
+        # Section 5.2's example: on the root sub-tree {c_0..c_3} of Figure 1
+        # GreedyAbs discards in order [c_1, c_3, c_2, c_0].
+        run = greedy_abs_order([7.0, 2.0, -4.0, -3.0])
+        assert [r.node for r in run.removals] == [1, 3, 2, 0]
+
+
+class TestEngineMechanics:
+    def test_removal_count_equals_tree_size(self):
+        run = greedy_abs_order(haar_transform(PAPER_DATA))
+        assert len(run.removals) == 8
+
+    def test_without_average_slot(self):
+        coeffs = haar_transform(PAPER_DATA)
+        run = greedy_abs_order(coeffs, include_average=False)
+        removed = {r.node for r in run.removals}
+        assert 0 not in removed
+        assert removed == set(range(1, 8))
+
+    def test_initial_error_zero_for_complete_decomposition(self):
+        run = greedy_abs_order(haar_transform(PAPER_DATA))
+        assert run.initial_error == 0.0
+
+    def test_initial_error_reflects_incoming(self):
+        run = greedy_abs_order(
+            np.zeros(4), initial_errors=[-3.0, -3.0, -3.0, -3.0], include_average=False
+        )
+        assert run.initial_error == 3.0
+
+    def test_final_state_error_equals_data_magnitude(self):
+        # Removing every coefficient reconstructs all-zeros.
+        run = greedy_abs_order(haar_transform(PAPER_DATA))
+        assert run.removals[-1].error_after == pytest.approx(np.max(np.abs(PAPER_DATA)))
+
+    def test_single_node_tree(self):
+        run = greedy_abs_order([42.0])
+        assert len(run.removals) == 1
+        assert run.removals[0].error_after == 42.0
+
+    def test_two_leaf_tree(self):
+        run = greedy_abs_order(haar_transform([10.0, 4.0]))
+        assert len(run.removals) == 2
+        assert run.removals[-1].error_after == 10.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(InvalidInputError):
+            GreedyAbsTree([1.0, 2.0, 3.0])
+        with pytest.raises(InvalidInputError):
+            GreedyAbsTree([1.0, 2.0], initial_errors=[0.0])
+
+    def test_zero_coefficients_removed_first(self):
+        coeffs = haar_transform(PAPER_DATA)  # c_4 is 0
+        run = greedy_abs_order(coeffs)
+        assert run.removals[0].node == 4
+        assert run.removals[0].error_after == 0.0
+
+
+class TestBestCut:
+    def test_best_cut_prefers_smaller_synopsis_on_ties(self):
+        run = greedy_abs_order(haar_transform(PAPER_DATA))
+        step, error = run.best_cut(8)
+        # Budget >= tree size: c_4 is zero so removing it is free.
+        assert error == 0.0
+        assert step >= 1
+
+    def test_error_at_step(self):
+        run = greedy_abs_order(haar_transform(PAPER_DATA))
+        assert run.error_at_step(0) == run.initial_error
+        assert run.error_at_step(3) == run.removals[2].error_after
+
+
+class TestGreedyAbsSynopsis:
+    def test_budget_respected(self):
+        for budget in (0, 1, 3, 7, 8, 20):
+            synopsis = greedy_abs(PAPER_DATA, budget)
+            assert synopsis.size <= budget
+
+    def test_meta_error_matches_actual(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            data = rng.integers(0, 1000, size=32).astype(float)
+            synopsis = greedy_abs(data, 6)
+            assert synopsis.max_abs_error(data) == pytest.approx(
+                synopsis.meta["max_abs_error"], abs=1e-9
+            )
+
+    def test_full_budget_is_lossless(self):
+        synopsis = greedy_abs(PAPER_DATA, 8)
+        assert synopsis.max_abs_error(PAPER_DATA) == 0.0
+
+    def test_error_decreases_with_budget(self):
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 1000, size=64).astype(float)
+        errors = [greedy_abs(data, b).max_abs_error(data) for b in (2, 8, 32, 64)]
+        assert all(a >= b - 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_keep_removing_past_budget_never_hurts(self):
+        # The best of the last B+1 states is at least as good as the state
+        # with exactly B coefficients left (end of Section 5.1).
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            data = rng.integers(0, 100, size=16).astype(float)
+            budget = 4
+            run = greedy_abs_order(haar_transform(data))
+            exact_b_error = run.error_at_step(len(run.removals) - budget)
+            _, best_error = run.best_cut(budget)
+            assert best_error <= exact_b_error + 1e-12
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(InvalidInputError):
+            greedy_abs(PAPER_DATA, -1)
+
+    def test_zero_budget_gives_empty_synopsis(self):
+        synopsis = greedy_abs(PAPER_DATA, 0)
+        assert synopsis.size == 0
+        assert synopsis.max_abs_error(PAPER_DATA) == pytest.approx(26.0)

@@ -1,0 +1,101 @@
+"""Tests for GreedyRel: engine invariants and agreement with the naive oracle."""
+
+import numpy as np
+import pytest
+
+from repro.algos.greedy_rel import GreedyRelTree, greedy_rel, greedy_rel_order
+from repro.exceptions import InvalidInputError
+from repro.wavelet.transform import haar_transform
+
+from tests._reference import naive_greedy_rel_order
+
+PAPER_DATA = np.array([5, 5, 0, 26, 1, 3, 14, 2], dtype=float)
+
+
+class TestEngineAgainstOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_naive_order_and_errors(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(1, 100, size=16).astype(float)
+        coeffs = haar_transform(data)
+        fast = [(r.node, r.error_after) for r in greedy_rel_order(coeffs, data).removals]
+        slow = naive_greedy_rel_order(coeffs, data)
+        assert [n for n, _ in fast] == [n for n, _ in slow]
+        np.testing.assert_allclose([e for _, e in fast], [e for _, e in slow], atol=1e-12)
+
+    def test_sanity_bound_changes_preferences(self):
+        # With a tiny sanity bound the small values' denominators dominate
+        # and c_3 (affecting the large pair) goes first; a large bound
+        # equalizes denominators and the tiny detail c_2 goes first.
+        data = np.array([0.2, 0.4, 100.0, 104.0], dtype=float)
+        coeffs = haar_transform(data)
+        small_bound = [r.node for r in greedy_rel_order(coeffs, data, sanity_bound=0.01).removals]
+        large_bound = [r.node for r in greedy_rel_order(coeffs, data, sanity_bound=100.0).removals]
+        assert small_bound[0] == 3
+        assert large_bound[0] == 2
+        assert small_bound != large_bound
+
+
+class TestEngineMechanics:
+    def test_removal_count(self):
+        run = greedy_rel_order(haar_transform(PAPER_DATA), PAPER_DATA)
+        assert len(run.removals) == 8
+
+    def test_final_error_is_full_relative_magnitude(self):
+        run = greedy_rel_order(haar_transform(PAPER_DATA), PAPER_DATA, sanity_bound=1.0)
+        denominators = np.maximum(np.abs(PAPER_DATA), 1.0)
+        expected = float(np.max(np.abs(PAPER_DATA) / denominators))
+        assert run.removals[-1].error_after == pytest.approx(expected)
+
+    def test_incoming_error_initialization(self):
+        run = greedy_rel_order(
+            np.zeros(4),
+            np.array([10.0, 10.0, 10.0, 10.0]),
+            initial_errors=[5.0] * 4,
+            include_average=False,
+        )
+        assert run.initial_error == pytest.approx(0.5)
+
+    def test_rejects_mismatched_leaves(self):
+        with pytest.raises(InvalidInputError):
+            GreedyRelTree([1.0, 2.0], [1.0])
+
+    def test_rejects_bad_sanity_bound(self):
+        with pytest.raises(InvalidInputError):
+            GreedyRelTree([1.0, 2.0], [1.0, 2.0], sanity_bound=0.0)
+
+
+class TestGreedyRelSynopsis:
+    def test_budget_respected_and_meta_consistent(self):
+        rng = np.random.default_rng(7)
+        data = rng.integers(1, 1000, size=32).astype(float)
+        for budget in (2, 8, 16):
+            synopsis = greedy_rel(data, budget)
+            assert synopsis.size <= budget
+            assert synopsis.max_rel_error(data) == pytest.approx(
+                synopsis.meta["max_rel_error"], abs=1e-12
+            )
+
+    def test_error_decreases_with_budget(self):
+        rng = np.random.default_rng(8)
+        data = rng.integers(1, 1000, size=64).astype(float)
+        errors = [greedy_rel(data, b).max_rel_error(data) for b in (2, 8, 32)]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_optimizes_relative_not_absolute(self):
+        # A spike at a small value matters for rel-error even though its
+        # absolute magnitude is negligible next to the large values.
+        data = np.array([1.0, 4.0, 1000.0, 1000.0, 1000.0, 1000.0, 1000.0, 1000.0])
+        from repro.algos.greedy_abs import greedy_abs
+
+        rel = greedy_rel(data, 3, sanity_bound=1.0)
+        ab = greedy_abs(data, 3)
+        assert rel.max_rel_error(data) <= ab.max_rel_error(data) + 1e-12
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(InvalidInputError):
+            greedy_rel(PAPER_DATA, -1)
+
+    def test_full_budget_lossless(self):
+        synopsis = greedy_rel(PAPER_DATA, 8)
+        assert synopsis.max_rel_error(PAPER_DATA) == 0.0

@@ -1,0 +1,106 @@
+"""Cross-module integration tests: whole pipelines, orderings, resilience."""
+
+import numpy as np
+import pytest
+
+from repro import build_synopsis
+from repro.algos import greedy_abs, indirect_haar
+from repro.core import con_synopsis, d_greedy_abs, d_indirect_haar
+from repro.data import nyct_dataset, wd_dataset
+from repro.mapreduce import FailureInjector, LocalRuntime, SimulatedCluster
+
+
+class TestQualityOrdering:
+    """The error hierarchy the paper's evaluation rests on."""
+
+    @pytest.mark.parametrize("maker", [nyct_dataset, wd_dataset])
+    def test_max_error_hierarchy(self, maker):
+        data = maker(512, seed=3)
+        budget = 64
+        delta = float(data.max()) / 200
+        optimal = indirect_haar(data, budget, delta=delta).max_abs_error(data)
+        greedy = greedy_abs(data, budget).max_abs_error(data)
+        conventional = con_synopsis(data, budget, split_size=128).max_abs_error(data)
+        # Unrestricted DP <= greedy heuristic (up to one quantum) <= L2 baseline.
+        assert optimal <= greedy * 1.05 + delta
+        assert greedy <= conventional + 1e-9
+
+    def test_distributed_matches_its_centralized_twin(self):
+        data = nyct_dataset(512, seed=4)
+        budget = 64
+        dist_dp = d_indirect_haar(data, budget, delta=5.0, subtree_leaves=64)
+        cent_dp = indirect_haar(data, budget, delta=5.0)
+        assert dist_dp.max_abs_error(data) == pytest.approx(
+            cent_dp.max_abs_error(data), abs=1e-9
+        )
+        dist_greedy = d_greedy_abs(data, budget, base_leaves=64)
+        cent_greedy = greedy_abs(data, budget)
+        assert dist_greedy.max_abs_error(data) <= cent_greedy.max_abs_error(data) * 1.02
+
+
+class TestFailureResilience:
+    """Task failures + Hadoop-style retries must not change any result."""
+
+    def test_dgreedy_is_failure_transparent(self):
+        data = np.random.default_rng(5).uniform(0, 1000, size=256)
+        flaky = SimulatedCluster(
+            runtime=LocalRuntime(FailureInjector(probability=0.2, seed=1, max_attempts=20))
+        )
+        stable = SimulatedCluster()
+        flaky_result = d_greedy_abs(data, 32, flaky, base_leaves=32)
+        stable_result = d_greedy_abs(data, 32, stable, base_leaves=32)
+        assert flaky_result.same_coefficients(stable_result, tolerance=0.0)
+
+    def test_dindirect_is_failure_transparent(self):
+        data = np.random.default_rng(6).uniform(0, 500, size=256)
+        flaky = SimulatedCluster(
+            runtime=LocalRuntime(FailureInjector(probability=0.15, seed=2, max_attempts=20))
+        )
+        flaky_result = d_indirect_haar(data, 32, delta=4.0, cluster=flaky, subtree_leaves=64)
+        stable_result = d_indirect_haar(data, 32, delta=4.0, subtree_leaves=64)
+        assert flaky_result.same_coefficients(stable_result, tolerance=0.0)
+
+    def test_failed_attempts_inflate_simulated_time(self):
+        data = np.random.default_rng(7).uniform(0, 1000, size=512)
+        flaky = SimulatedCluster(
+            runtime=LocalRuntime(FailureInjector(probability=0.4, seed=3, max_attempts=50))
+        )
+        stable = SimulatedCluster()
+        con_synopsis(data, 64, flaky, split_size=64)
+        con_synopsis(data, 64, stable, split_size=64)
+        # Retried attempts burn extra task time under the same slot pool.
+        assert flaky.log.jobs[0].counters["map.input_records"] == 512
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_synopses(self):
+        data = np.random.default_rng(8).uniform(0, 1000, size=512)
+        first = d_greedy_abs(data, 64, base_leaves=64)
+        second = d_greedy_abs(data, 64, base_leaves=64)
+        assert first.same_coefficients(second, tolerance=0.0)
+
+    def test_facade_runs_are_reproducible(self):
+        data = np.random.default_rng(9).uniform(0, 1000, size=300)  # padded to 512
+        first = build_synopsis(data, 32, algorithm="dindirect-haar", delta=8.0, subtree_leaves=64)
+        second = build_synopsis(data, 32, algorithm="dindirect-haar", delta=8.0, subtree_leaves=64)
+        assert first.same_coefficients(second, tolerance=0.0)
+
+
+class TestQueryAccuracyEndToEnd:
+    def test_range_queries_bounded_by_max_error(self):
+        data = nyct_dataset(1024, seed=10)
+        synopsis = d_greedy_abs(data, 128, base_leaves=128)
+        guarantee = synopsis.max_abs_error(data)
+        for lo, hi in [(0, 63), (100, 611), (1000, 1023)]:
+            width = hi - lo + 1
+            exact = data[lo : hi + 1].sum()
+            approx = synopsis.range_sum(lo, hi)
+            # Each value is within the guarantee, so the sum is within
+            # width * guarantee.
+            assert abs(approx - exact) <= width * guarantee + 1e-6
+
+    def test_padding_does_not_corrupt_prefix_queries(self):
+        data = np.random.default_rng(11).uniform(100, 200, size=700)
+        synopsis = build_synopsis(data, 128, algorithm="greedy-abs")
+        for leaf in (0, 350, 699):
+            assert synopsis.point_query(leaf) == pytest.approx(data[leaf], abs=120)

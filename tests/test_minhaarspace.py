@@ -1,0 +1,184 @@
+"""Tests for the MinHaarSpace dual DP and its row algebra."""
+
+import numpy as np
+import pytest
+
+from repro.algos.minhaarspace import (
+    combine_rows,
+    compute_subtree_rows,
+    finalize_root,
+    leaf_row,
+    min_haar_space,
+    traceback_subtree,
+)
+from repro.exceptions import InfeasibleErrorBound, InvalidInputError
+
+from tests._reference import brute_force_min_restricted_size
+
+PAPER_DATA = np.array([5, 5, 0, 26, 1, 3, 14, 2], dtype=float)
+
+
+class TestLeafRow:
+    def test_domain_covers_epsilon_band(self):
+        row = leaf_row(10.0, epsilon=3.0, delta=1.0)
+        assert row.start == 7 and row.end == 13
+        assert row.counts.tolist() == [0] * 7
+        np.testing.assert_allclose(row.errors, [3, 2, 1, 0, 1, 2, 3])
+
+    def test_non_integer_grid(self):
+        row = leaf_row(10.0, epsilon=1.0, delta=0.4)
+        values = (np.arange(row.start, row.end + 1)) * 0.4
+        assert np.all(np.abs(values - 10.0) <= 1.0 + 1e-9)
+
+    def test_too_coarse_quantization_is_infeasible(self):
+        with pytest.raises(InfeasibleErrorBound):
+            leaf_row(10.5, epsilon=0.2, delta=1.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInputError):
+            leaf_row(1.0, epsilon=-1.0, delta=1.0)
+        with pytest.raises(InvalidInputError):
+            leaf_row(1.0, epsilon=1.0, delta=0.0)
+
+    def test_entry_lookup(self):
+        row = leaf_row(10.0, epsilon=2.0, delta=1.0)
+        assert row.entry(10) == (0, 0.0)
+        with pytest.raises(InvalidInputError):
+            row.entry(100)
+
+    def test_serialized_size_scales_with_domain(self):
+        narrow = leaf_row(10.0, epsilon=1.0, delta=1.0)
+        wide = leaf_row(10.0, epsilon=8.0, delta=1.0)
+        assert wide.serialized_size() > narrow.serialized_size()
+
+
+class TestCombine:
+    def test_equal_children_need_no_coefficient(self):
+        left = leaf_row(10.0, 2.0, 1.0)
+        right = leaf_row(10.0, 2.0, 1.0)
+        row = combine_rows(left, right, 2.0, 1.0)
+        count, error = row.entry(10)
+        assert count == 0 and error == 0.0
+
+    def test_differing_children_cost_one(self):
+        left = leaf_row(0.0, 1.0, 1.0)
+        right = leaf_row(10.0, 1.0, 1.0)
+        row = combine_rows(left, right, 1.0, 1.0)
+        count, error = row.entry(5)
+        assert count == 1 and error == 0.0
+
+    def test_domain_is_midpoint_band(self):
+        left = leaf_row(0.0, 2.0, 1.0)
+        right = leaf_row(10.0, 2.0, 1.0)
+        row = combine_rows(left, right, 2.0, 1.0)
+        assert row.start == 3 and row.end == 7  # mean 5 ± 2
+
+    def test_choice_traceback_consistency(self):
+        left = leaf_row(4.0, 3.0, 1.0)
+        right = leaf_row(8.0, 3.0, 1.0)
+        row = combine_rows(left, right, 3.0, 1.0)
+        for offset, v in enumerate(range(row.start, row.end + 1)):
+            vl = int(row.choices[offset])
+            vr = 2 * v - vl
+            assert left.start <= vl <= left.end
+            assert right.start <= vr <= right.end
+
+
+class TestMinHaarSpace:
+    def test_error_bound_respected(self):
+        for epsilon in (1.0, 3.0, 7.0, 15.0):
+            solution = min_haar_space(PAPER_DATA, epsilon, delta=0.5)
+            assert solution.max_error <= epsilon + 1e-9
+            assert solution.synopsis.max_abs_error(PAPER_DATA) == pytest.approx(
+                solution.max_error, abs=1e-9
+            )
+
+    def test_size_matches_synopsis(self):
+        solution = min_haar_space(PAPER_DATA, 5.0, delta=0.5)
+        assert solution.synopsis.size == solution.size
+
+    def test_size_monotone_in_epsilon(self):
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 200, size=32).astype(float)
+        sizes = [min_haar_space(data, e, 1.0).size for e in (5, 10, 20, 40, 100)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_huge_epsilon_needs_nothing(self):
+        solution = min_haar_space(PAPER_DATA, 100.0, delta=1.0)
+        assert solution.size == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_beats_or_matches_restricted_bruteforce(self, seed):
+        # Unrestricted synopses are at least as compact as the best
+        # restricted subset for the same error bound.
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 40, size=8).astype(float)
+        for epsilon in (4.0, 8.0, 16.0):
+            dp_size = min_haar_space(data, epsilon, delta=0.25).size
+            restricted = brute_force_min_restricted_size(data, epsilon)
+            assert dp_size <= restricted
+
+    def test_dual_consistency(self):
+        # Re-solving at the achieved error cannot need more coefficients.
+        solution = min_haar_space(PAPER_DATA, 6.0, delta=0.5)
+        again = min_haar_space(PAPER_DATA, solution.max_error, delta=0.5)
+        assert again.size <= solution.size
+
+    def test_single_point_dataset(self):
+        solution = min_haar_space([42.0], epsilon=1.0, delta=1.0)
+        assert solution.size == 1
+        assert solution.synopsis.point_query(0) == pytest.approx(42.0)
+        free = min_haar_space([0.5], epsilon=1.0, delta=1.0)
+        assert free.size == 0
+
+    def test_two_point_dataset(self):
+        solution = min_haar_space([10.0, 4.0], epsilon=1.0, delta=1.0)
+        approx = solution.synopsis.reconstruct()
+        assert np.max(np.abs(approx - [10.0, 4.0])) <= 1.0 + 1e-9
+
+    def test_finer_delta_never_worse(self):
+        rng = np.random.default_rng(13)
+        data = rng.integers(0, 100, size=16).astype(float)
+        coarse = min_haar_space(data, 10.0, delta=5.0)
+        fine = min_haar_space(data, 10.0, delta=0.5)
+        assert fine.size <= coarse.size
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(InvalidInputError):
+            min_haar_space([1.0, 2.0, 3.0], 1.0, 1.0)
+
+
+class TestSubtreeRowsAndTraceback:
+    def test_rows_compose_like_full_run(self):
+        # Rows computed over the whole tree at once equal rows computed by
+        # splitting into two sub-trees and combining their root rows —
+        # the associativity that makes the Section 4 framework correct.
+        epsilon, delta = 6.0, 1.0
+        leaves = [leaf_row(v, epsilon, delta) for v in PAPER_DATA]
+        whole = compute_subtree_rows(leaves, epsilon, delta)
+
+        left = compute_subtree_rows(leaves[:4], epsilon, delta)
+        right = compute_subtree_rows(leaves[4:], epsilon, delta)
+        top = combine_rows(left[1], right[1], epsilon, delta)
+
+        assert top.start == whole[1].start
+        np.testing.assert_array_equal(top.counts, whole[1].counts)
+        np.testing.assert_allclose(top.errors, whole[1].errors)
+
+    def test_traceback_produces_claimed_cost(self):
+        epsilon, delta = 5.0, 0.5
+        leaves = [leaf_row(v, epsilon, delta) for v in PAPER_DATA]
+        rows = compute_subtree_rows(leaves, epsilon, delta)
+        count, error, chosen = finalize_root(rows[1], epsilon, delta)
+        assignments, leaf_incomings = traceback_subtree(rows, chosen, delta)
+        stored = len(assignments) + (1 if chosen != 0 else 0)
+        assert stored == count
+        # Every leaf's incoming value reconstructs within epsilon.
+        reconstructed = np.array(leaf_incomings, dtype=float) * delta
+        assert np.max(np.abs(reconstructed - PAPER_DATA)) <= epsilon + 1e-9
+
+    def test_single_leaf_subtree(self):
+        row = leaf_row(3.0, 1.0, 1.0)
+        rows = compute_subtree_rows([row], 1.0, 1.0)
+        assignments, incomings = traceback_subtree(rows, 3, 1.0)
+        assert assignments == {} and incomings == [3]

@@ -1,0 +1,102 @@
+"""Tests for the restricted-synopsis MinHaarSpace variant."""
+
+import numpy as np
+import pytest
+
+from repro.algos.minhaarspace import (
+    combine_rows_restricted,
+    leaf_row,
+    min_haar_space,
+    min_haar_space_restricted,
+)
+from repro.exceptions import InfeasibleErrorBound
+
+from tests._reference import brute_force_min_restricted_size
+
+PAPER_DATA = np.array([5, 5, 0, 26, 1, 3, 14, 2], dtype=float)
+
+
+def random_data(n, seed, high=60):
+    return np.random.default_rng(seed).integers(0, high, size=n).astype(float)
+
+
+class TestCombineRestricted:
+    def test_zero_choice_only_when_coefficient_snaps_to_zero(self):
+        left = leaf_row(10.0, 2.0, 1.0)
+        right = leaf_row(10.0, 2.0, 1.0)
+        row = combine_rows_restricted(left, right, 0, 2.0, 1.0)
+        count, error = row.entry(10)
+        assert count == 0 and error == 0.0
+
+    def test_keep_choice_bridges_distant_children(self):
+        left = leaf_row(0.0, 1.0, 1.0)
+        right = leaf_row(10.0, 1.0, 1.0)
+        # True coefficient is (0 - 10)/2 = -5.
+        row = combine_rows_restricted(left, right, -5, 1.0, 1.0)
+        count, error = row.entry(5)
+        assert count == 1 and error == 0.0
+
+    def test_wrong_coefficient_cannot_bridge(self):
+        left = leaf_row(0.0, 1.0, 1.0)
+        right = leaf_row(10.0, 1.0, 1.0)
+        with pytest.raises(InfeasibleErrorBound):
+            combine_rows_restricted(left, right, -1, 1.0, 1.0)
+
+    def test_union_domain_keeps_infeasible_holes_explicit(self):
+        # z=0 band and z=c band can be disjoint; entries between them must
+        # be marked infeasible, not interpolated.
+        left = leaf_row(0.0, 1.0, 1.0)
+        right = leaf_row(20.0, 1.0, 1.0)
+        row = combine_rows_restricted(left, right, -10, 1.0, 1.0)
+        count, error = row.entry(10)  # the z=c band
+        assert count == 1 and np.isfinite(error)
+
+
+class TestRestrictedSolver:
+    def test_error_bound_respected(self):
+        for epsilon in (2.0, 5.0, 13.0):
+            solution = min_haar_space_restricted(PAPER_DATA, epsilon, 0.25)
+            assert solution.synopsis.max_abs_error(PAPER_DATA) <= epsilon + 1e-9
+            assert solution.synopsis.size == solution.size
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_beats_unrestricted(self, seed):
+        data = random_data(16, seed)
+        for epsilon in (5.0, 10.0, 25.0):
+            restricted = min_haar_space_restricted(data, epsilon, 0.25)
+            unrestricted = min_haar_space(data, epsilon, 0.25)
+            assert restricted.size >= unrestricted.size
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bruteforce_within_quantization(self, seed):
+        data = random_data(8, seed)
+        for epsilon in (5.0, 10.0, 20.0):
+            solution = min_haar_space_restricted(data, epsilon, 0.25)
+            exact = brute_force_min_restricted_size(data, epsilon)
+            assert exact <= solution.size <= exact + 1
+
+    def test_retained_values_are_snapped_coefficients(self):
+        from repro.wavelet.transform import haar_transform
+
+        data = random_data(16, seed=9)
+        delta = 0.5
+        solution = min_haar_space_restricted(data, 8.0, delta)
+        coefficients = haar_transform(data)
+        for node, value in solution.synopsis.coefficients.items():
+            snapped = round(float(coefficients[node]) / delta) * delta
+            assert value == pytest.approx(snapped, abs=1e-9)
+
+    def test_size_monotone_in_epsilon(self):
+        data = random_data(32, seed=10, high=200)
+        sizes = [
+            min_haar_space_restricted(data, eps, 1.0).size for eps in (5, 15, 40, 100)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_huge_epsilon_needs_nothing(self):
+        solution = min_haar_space_restricted(PAPER_DATA, 100.0, 1.0)
+        assert solution.size == 0
+
+    def test_single_point(self):
+        solution = min_haar_space_restricted([42.0], 1.0, 1.0)
+        assert solution.size == 1

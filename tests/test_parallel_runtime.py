@@ -1,0 +1,103 @@
+"""Tests for the thread-pool runtime: equivalence with the local runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core import con_synopsis, d_greedy_abs, dm_haar_space
+from repro.exceptions import JobFailedError
+from repro.mapreduce import (
+    LocalRuntime,
+    MapReduceJob,
+    SimulatedCluster,
+    ThreadPoolRuntime,
+    ThreadSafeFailureInjector,
+    block_splits,
+)
+
+
+class SquareSum(MapReduceJob):
+    name = "square-sum"
+    num_reducers = 2
+
+    def map(self, split):
+        for value in split.values:
+            yield int(value) % 4, float(value) ** 2
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+class TestEquivalence:
+    def test_toy_job_outputs_match_local_runtime(self):
+        data = np.arange(512, dtype=float)
+        splits = block_splits(data, 32)
+        local = LocalRuntime().run(SquareSum(), splits)
+        threaded = ThreadPoolRuntime(max_workers=4).run(SquareSum(), splits)
+        assert dict(local.output) == pytest.approx(dict(threaded.output))
+        assert local.shuffle_bytes == threaded.shuffle_bytes
+        assert local.map_output_records == threaded.map_output_records
+
+    def test_map_outputs_keep_split_order(self):
+        class EchoSplit(MapReduceJob):
+            num_reducers = 0
+
+            def map(self, split):
+                yield split.split_id, None
+
+        data = np.arange(256, dtype=float)
+        result = ThreadPoolRuntime(max_workers=8).run(EchoSplit(), block_splits(data, 16))
+        assert [key for key, _ in result.output] == list(range(16))
+
+    def test_dgreedy_identical_under_threads(self):
+        data = np.random.default_rng(1).uniform(0, 1000, size=512)
+        sequential = d_greedy_abs(
+            data, 64, SimulatedCluster(runtime=LocalRuntime()), base_leaves=64
+        )
+        threaded = d_greedy_abs(
+            data, 64, SimulatedCluster(runtime=ThreadPoolRuntime(4)), base_leaves=64
+        )
+        assert sequential.same_coefficients(threaded, tolerance=0.0)
+
+    def test_dmhaarspace_identical_under_threads(self):
+        data = np.random.default_rng(2).integers(0, 200, size=256).astype(float)
+        sequential = dm_haar_space(
+            data, 20.0, 1.0, SimulatedCluster(runtime=LocalRuntime()), 32
+        )
+        threaded = dm_haar_space(
+            data, 20.0, 1.0, SimulatedCluster(runtime=ThreadPoolRuntime(4)), 32
+        )
+        assert sequential.size == threaded.size
+        assert sequential.synopsis.same_coefficients(threaded.synopsis, tolerance=0.0)
+
+    def test_con_identical_under_threads(self):
+        data = np.random.default_rng(3).uniform(0, 100, size=512)
+        sequential = con_synopsis(data, 64, SimulatedCluster(runtime=LocalRuntime()), 64)
+        threaded = con_synopsis(
+            data, 64, SimulatedCluster(runtime=ThreadPoolRuntime(4)), 64
+        )
+        assert sequential.same_coefficients(threaded, tolerance=0.0)
+
+
+class TestFailureHandling:
+    def test_thread_safe_injector_retries(self):
+        data = np.arange(64, dtype=float)
+        runtime = ThreadPoolRuntime(
+            max_workers=4,
+            failure_injector=ThreadSafeFailureInjector(0.3, seed=1, max_attempts=20),
+        )
+        result = runtime.run(SquareSum(), block_splits(data, 8))
+        reference = LocalRuntime().run(SquareSum(), block_splits(data, 8))
+        assert dict(result.output) == pytest.approx(dict(reference.output))
+
+    def test_exhausted_attempts_raise(self):
+        data = np.arange(16, dtype=float)
+        runtime = ThreadPoolRuntime(
+            max_workers=2,
+            failure_injector=ThreadSafeFailureInjector(0.99, seed=2, max_attempts=2),
+        )
+        with pytest.raises(JobFailedError):
+            runtime.run(SquareSum(), block_splits(data, 4))
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadPoolRuntime(max_workers=0)

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algos.greedy_abs import greedy_abs, greedy_abs_order
+from repro.algos.heap import AddressableMinHeap
+from repro.algos.minhaarspace import effective_delta, min_haar_space
+from repro.data.loader import pad_to_power_of_two
+from repro.wavelet.error_tree import reconstruct_range_sum, reconstruct_value
+from repro.wavelet.metrics import max_abs_error, max_rel_error
+from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.transform import haar_transform, inverse_haar_transform
+
+from tests._reference import naive_greedy_abs_order
+
+finite_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def power_of_two_arrays(max_log=6, elements=finite_values):
+    return st.integers(min_value=0, max_value=max_log).flatmap(
+        lambda log_n: st.lists(
+            elements, min_size=1 << log_n, max_size=1 << log_n
+        ).map(np.array)
+    )
+
+
+class TestTransformProperties:
+    @given(data=power_of_two_arrays())
+    def test_roundtrip(self, data):
+        recovered = inverse_haar_transform(haar_transform(data))
+        np.testing.assert_allclose(recovered, data, atol=1e-6, rtol=1e-9)
+
+    @given(data=power_of_two_arrays())
+    def test_average_coefficient_is_mean(self, data):
+        assert haar_transform(data)[0] == pytest.approx(float(np.mean(data)), abs=1e-6)
+
+    @given(data=power_of_two_arrays(), scale=st.floats(-10, 10, allow_nan=False))
+    def test_scaling_linearity(self, data, scale):
+        scaled = haar_transform(scale * data)
+        np.testing.assert_allclose(
+            scaled, scale * haar_transform(data), atol=1e-5, rtol=1e-9
+        )
+
+    @given(data=power_of_two_arrays(max_log=5))
+    def test_point_reconstruction_matches_inverse(self, data):
+        coeffs = haar_transform(data)
+        for leaf in range(len(data)):
+            assert reconstruct_value(coeffs, leaf, len(data)) == pytest.approx(
+                float(data[leaf]), abs=1e-6
+            )
+
+    @given(data=power_of_two_arrays(max_log=4), lo=st.integers(0, 15), hi=st.integers(0, 15))
+    def test_range_sum_matches_slice(self, data, lo, hi):
+        n = len(data)
+        lo, hi = lo % n, hi % n
+        if lo > hi:
+            lo, hi = hi, lo
+        coeffs = haar_transform(data)
+        assert reconstruct_range_sum(coeffs, lo, hi, n) == pytest.approx(
+            float(data[lo : hi + 1].sum()), abs=1e-5
+        )
+
+
+class TestGreedyProperties:
+    @given(
+        data=power_of_two_arrays(
+            max_log=4, elements=st.integers(min_value=-100, max_value=100).map(float)
+        )
+    )
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_engine_matches_naive_oracle(self, data):
+        coeffs = haar_transform(data)
+        fast = [(r.node, r.error_after) for r in greedy_abs_order(coeffs).removals]
+        slow = naive_greedy_abs_order(coeffs)
+        assert [n for n, _ in fast] == [n for n, _ in slow]
+        np.testing.assert_allclose([e for _, e in fast], [e for _, e in slow], atol=1e-9)
+
+    @given(
+        data=power_of_two_arrays(max_log=5),
+        budget=st.integers(min_value=0, max_value=32),
+    )
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_budget_and_error_consistency(self, data, budget):
+        synopsis = greedy_abs(data, budget)
+        assert synopsis.size <= budget
+        assert synopsis.max_abs_error(data) == pytest.approx(
+            synopsis.meta["max_abs_error"], abs=1e-6
+        )
+
+
+class TestDualDPProperties:
+    @given(
+        data=power_of_two_arrays(
+            max_log=4, elements=st.integers(min_value=0, max_value=100).map(float)
+        ),
+        epsilon=st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(deadline=None, max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    def test_error_bound_always_respected(self, data, epsilon):
+        solution = min_haar_space(data, epsilon, delta=1.0)
+        assert solution.synopsis.max_abs_error(data) <= epsilon + 1e-9
+        assert solution.synopsis.size == solution.size
+
+    @given(
+        epsilon=st.floats(min_value=1e-3, max_value=1e6),
+        delta=st.floats(min_value=1e-3, max_value=1e3),
+        log_n=st.integers(min_value=0, max_value=30),
+    )
+    def test_effective_delta_bounds(self, epsilon, delta, log_n):
+        result = effective_delta(epsilon, delta, 1 << log_n)
+        assert 0 < result <= delta
+
+
+class TestMetricsProperties:
+    @given(data=power_of_two_arrays(max_log=4), noise=power_of_two_arrays(max_log=4))
+    def test_max_abs_triangle_inequality(self, data, noise):
+        if len(data) != len(noise):
+            return
+        mid = (data + noise) / 2
+        direct = max_abs_error(data, noise)
+        via_mid = max_abs_error(data, mid) + max_abs_error(mid, noise)
+        assert direct <= via_mid + 1e-9
+
+    @given(data=power_of_two_arrays(max_log=4), bound=st.floats(0.1, 100))
+    def test_larger_sanity_bound_never_increases_rel_error(self, data, bound):
+        approx = data + 1.0
+        assert max_rel_error(data, approx, bound * 2) <= max_rel_error(data, approx, bound) + 1e-12
+
+
+class TestSynopsisProperties:
+    @given(
+        entries=st.dictionaries(
+            st.integers(min_value=0, max_value=31), finite_values, max_size=16
+        )
+    )
+    def test_serialization_roundtrip(self, entries):
+        synopsis = WaveletSynopsis(32, entries)
+        restored = WaveletSynopsis.from_dict(synopsis.to_dict())
+        assert restored.same_coefficients(synopsis)
+
+    @given(
+        entries=st.dictionaries(
+            st.integers(min_value=0, max_value=31), finite_values, max_size=16
+        )
+    )
+    def test_point_queries_match_full_reconstruction(self, entries):
+        synopsis = WaveletSynopsis(32, entries)
+        full = synopsis.reconstruct()
+        for leaf in range(0, 32, 5):
+            assert synopsis.point_query(leaf) == pytest.approx(float(full[leaf]), abs=1e-6)
+
+
+class TestHeapProperties:
+    @given(
+        priorities=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=64
+        )
+    )
+    def test_pop_order_is_sorted(self, priorities):
+        heap = AddressableMinHeap()
+        for item_id, priority in enumerate(priorities):
+            heap.push(item_id, priority)
+        popped = [heap.pop()[1] for _ in range(len(priorities))]
+        assert popped == sorted(popped)
+
+
+class TestLoaderProperties:
+    @given(data=st.lists(finite_values, min_size=1, max_size=100))
+    def test_padding_preserves_prefix(self, data):
+        padded = pad_to_power_of_two(data)
+        assert len(padded) & (len(padded) - 1) == 0
+        np.testing.assert_array_equal(padded[: len(data)], np.asarray(data))
+        assert np.all(padded[len(data) :] == 0.0)

@@ -1,0 +1,78 @@
+"""Property-based tests for the distributed algorithms (small scales)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algos.conventional import conventional_synopsis
+from repro.algos.greedy_abs import greedy_abs
+from repro.algos.minhaarspace import min_haar_space
+from repro.core.conventional_dist import con_synopsis, send_coef_synopsis
+from repro.core.dgreedy import d_greedy_abs
+from repro.core.dp_framework import dm_haar_space
+from repro.mapreduce import SimulatedCluster
+
+SMALL = settings(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+data_arrays = st.integers(min_value=4, max_value=6).flatmap(
+    lambda log_n: st.lists(
+        st.integers(min_value=0, max_value=500).map(float),
+        min_size=1 << log_n,
+        max_size=1 << log_n,
+    ).map(np.array)
+)
+
+
+class TestDistributedEquivalenceProperties:
+    @given(data=data_arrays, epsilon=st.floats(min_value=2.0, max_value=100.0))
+    @SMALL
+    def test_dmhaarspace_always_matches_centralized(self, data, epsilon):
+        dist = dm_haar_space(data, epsilon, 1.0, SimulatedCluster(), subtree_leaves=8)
+        cent = min_haar_space(data, epsilon, 1.0)
+        assert dist.size == cent.size
+        assert dist.max_error == pytest.approx(cent.max_error, abs=1e-12)
+        assert dist.synopsis.same_coefficients(cent.synopsis, tolerance=1e-12)
+
+    @given(data=data_arrays, budget_divisor=st.sampled_from([4, 8]))
+    @SMALL
+    def test_con_always_matches_centralized(self, data, budget_divisor):
+        budget = max(1, len(data) // budget_divisor)
+        dist = con_synopsis(data, budget, SimulatedCluster(), split_size=8)
+        cent = conventional_synopsis(data, budget)
+        assert set(dist.coefficients) == set(cent.coefficients)
+
+    @given(data=data_arrays)
+    @SMALL
+    def test_send_coef_always_matches_centralized(self, data):
+        budget = max(1, len(data) // 4)
+        dist = send_coef_synopsis(data, budget, SimulatedCluster(), block_size=7)
+        cent = conventional_synopsis(data, budget)
+        assert set(dist.coefficients) == set(cent.coefficients)
+        for index, value in cent.coefficients.items():
+            assert dist.coefficients[index] == pytest.approx(value, abs=1e-6)
+
+    @given(data=data_arrays)
+    @SMALL
+    def test_dgreedy_never_much_worse_than_centralized(self, data):
+        budget = max(1, len(data) // 8)
+        dist = d_greedy_abs(data, budget, base_leaves=8)
+        cent = greedy_abs(data, budget)
+        assert dist.size <= budget
+        dist_error = dist.max_abs_error(data)
+        cent_error = cent.max_abs_error(data)
+        # The paper's no-degradation claim, with slack for ties/buckets.
+        assert dist_error <= cent_error * 1.1 + 1e-6
+
+    @given(data=data_arrays, budget_divisor=st.sampled_from([4, 8]))
+    @SMALL
+    def test_dgreedy_budget_and_determinism(self, data, budget_divisor):
+        budget = max(1, len(data) // budget_divisor)
+        first = d_greedy_abs(data, budget, base_leaves=8)
+        second = d_greedy_abs(data, budget, base_leaves=8)
+        assert first.size <= budget
+        assert first.same_coefficients(second, tolerance=0.0)

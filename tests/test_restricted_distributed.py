@@ -1,0 +1,81 @@
+"""Tests for the restricted variants end to end (facade, DIndirectHaar)."""
+
+import numpy as np
+import pytest
+
+from repro import build_synopsis
+from repro.algos.indirect_haar import indirect_haar
+from repro.core.dindirect import d_indirect_haar
+from repro.mapreduce import SimulatedCluster
+from repro.wavelet.transform import haar_transform
+
+
+def uniform_data(n, seed=0):
+    return np.random.default_rng(seed).uniform(0, 500, size=n)
+
+
+class TestRestrictedIndirectHaar:
+    def test_distributed_matches_centralized(self):
+        data = uniform_data(256, seed=1)
+        for budget in (16, 64):
+            dist = d_indirect_haar(
+                data, budget, delta=2.0, subtree_leaves=64, restricted=True
+            )
+            cent = indirect_haar(data, budget, delta=2.0, restricted=True)
+            assert dist.max_abs_error(data) == pytest.approx(
+                cent.max_abs_error(data), abs=1e-9
+            )
+            assert dist.size <= budget
+
+    def test_unrestricted_never_worse(self):
+        data = uniform_data(256, seed=2)
+        budget = 32
+        unrestricted = indirect_haar(data, budget, delta=2.0).max_abs_error(data)
+        restricted = indirect_haar(data, budget, delta=2.0, restricted=True).max_abs_error(data)
+        assert unrestricted <= restricted + 1e-9
+
+    def test_restricted_values_are_snapped_coefficients(self):
+        data = uniform_data(128, seed=3)
+        synopsis = indirect_haar(data, 16, delta=2.0, restricted=True)
+        coefficients = haar_transform(data)
+        delta_used = synopsis.meta["delta"]
+        for node, value in synopsis.coefficients.items():
+            # Value is the node's Haar coefficient snapped to some grid at
+            # least as fine as the requested delta.
+            assert abs(value - coefficients[node]) <= delta_used / 2 + 1e-9
+
+
+class TestFacadeRestricted:
+    @pytest.mark.parametrize(
+        "algorithm", ["indirect-haar-restricted", "dindirect-haar-restricted"]
+    )
+    def test_runs_and_respects_budget(self, algorithm):
+        data = uniform_data(256, seed=4)
+        synopsis = build_synopsis(
+            data, 32, algorithm=algorithm, delta=4.0, subtree_leaves=64
+        )
+        assert synopsis.size <= 32
+
+    def test_both_variants_agree(self):
+        data = uniform_data(128, seed=5)
+        cent = build_synopsis(data, 16, algorithm="indirect-haar-restricted", delta=2.0)
+        dist = build_synopsis(
+            data, 16, algorithm="dindirect-haar-restricted", delta=2.0, subtree_leaves=32
+        )
+        assert dist.max_abs_error(data) == pytest.approx(
+            cent.max_abs_error(data), abs=1e-9
+        )
+
+    def test_cluster_accounting_for_restricted(self):
+        cluster = SimulatedCluster()
+        data = uniform_data(128, seed=6)
+        build_synopsis(
+            data,
+            16,
+            algorithm="dindirect-haar-restricted",
+            cluster=cluster,
+            delta=4.0,
+            subtree_leaves=32,
+        )
+        assert cluster.log.job_count >= 3
+        assert cluster.simulated_seconds > 0

@@ -1,0 +1,182 @@
+"""Tests for the 2-D Haar extension (standard decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInputError
+from repro.wavelet.synopsis2d import (
+    WaveletSynopsis2D,
+    conventional_synopsis_2d,
+    greedy_abs_2d,
+)
+from repro.wavelet.transform2d import (
+    haar_transform_2d,
+    inverse_haar_transform_2d,
+    normalized_significance_2d,
+    range_weights,
+    reconstruct_cell,
+    reconstruct_rectangle_sum,
+)
+
+
+def random_matrix(rows, cols, seed=0, high=100):
+    return np.random.default_rng(seed).integers(0, high, size=(rows, cols)).astype(float)
+
+
+class TestTransform2D:
+    def test_roundtrip(self):
+        matrix = random_matrix(8, 16, seed=1)
+        recovered = inverse_haar_transform_2d(haar_transform_2d(matrix))
+        np.testing.assert_allclose(recovered, matrix, atol=1e-9)
+
+    def test_constant_matrix(self):
+        coefficients = haar_transform_2d(np.full((4, 4), 5.0))
+        assert coefficients[0, 0] == pytest.approx(5.0)
+        assert np.abs(coefficients).sum() == pytest.approx(5.0)
+
+    def test_top_coefficient_is_mean(self):
+        matrix = random_matrix(16, 8, seed=2)
+        assert haar_transform_2d(matrix)[0, 0] == pytest.approx(matrix.mean())
+
+    def test_separability(self):
+        # A rank-1 matrix transforms to the outer product of 1-D transforms.
+        from repro.wavelet.transform import haar_transform
+
+        rng = np.random.default_rng(3)
+        row = rng.normal(size=8)
+        col = rng.normal(size=8)
+        matrix = np.outer(col, row)
+        expected = np.outer(haar_transform(col), haar_transform(row))
+        np.testing.assert_allclose(haar_transform_2d(matrix), expected, atol=1e-9)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(InvalidInputError):
+            haar_transform_2d(np.zeros(8))
+        with pytest.raises(InvalidInputError):
+            haar_transform_2d(np.zeros((6, 8)))
+
+
+class TestQueries2D:
+    def test_cell_reconstruction_matches_inverse(self):
+        matrix = random_matrix(8, 8, seed=4)
+        coefficients = haar_transform_2d(matrix)
+        sparse = {
+            (a, b): float(coefficients[a, b])
+            for a in range(8)
+            for b in range(8)
+            if coefficients[a, b] != 0.0
+        }
+        for r in range(8):
+            for c in range(8):
+                assert reconstruct_cell(sparse, r, c, (8, 8)) == pytest.approx(
+                    matrix[r, c], abs=1e-9
+                )
+
+    def test_rectangle_sums_match_bruteforce(self):
+        matrix = random_matrix(8, 8, seed=5)
+        coefficients = haar_transform_2d(matrix)
+        sparse = {
+            (a, b): float(coefficients[a, b]) for a in range(8) for b in range(8)
+        }
+        rng = np.random.default_rng(6)
+        for _ in range(20):
+            r1, r2 = sorted(rng.integers(0, 8, size=2))
+            c1, c2 = sorted(rng.integers(0, 8, size=2))
+            expected = matrix[r1 : r2 + 1, c1 : c2 + 1].sum()
+            measured = reconstruct_rectangle_sum(sparse, (r1, r2), (c1, c2), (8, 8))
+            assert measured == pytest.approx(expected, abs=1e-8)
+
+    def test_range_weights_reproduce_1d_sums(self):
+        from repro.wavelet.transform import haar_transform
+
+        data = random_matrix(1, 16, seed=7)[0]
+        coefficients = haar_transform(data)
+        weights = range_weights(3, 11, 16)
+        measured = sum(w * coefficients[j] for j, w in weights.items())
+        assert measured == pytest.approx(data[3:12].sum(), abs=1e-9)
+
+    def test_range_weights_validation(self):
+        with pytest.raises(InvalidInputError):
+            range_weights(5, 2, 8)
+
+
+class TestSynopsis2D:
+    def test_full_synopsis_lossless(self):
+        matrix = random_matrix(8, 8, seed=8)
+        coefficients = haar_transform_2d(matrix)
+        synopsis = WaveletSynopsis2D(
+            (8, 8),
+            {(a, b): float(coefficients[a, b]) for a in range(8) for b in range(8)},
+        )
+        assert synopsis.max_abs_error(matrix) == pytest.approx(0.0, abs=1e-9)
+
+    def test_queries_consistent_with_reconstruction(self):
+        matrix = random_matrix(8, 8, seed=9)
+        synopsis = conventional_synopsis_2d(matrix, 12)
+        full = synopsis.reconstruct()
+        assert synopsis.cell_query(3, 5) == pytest.approx(full[3, 5], abs=1e-9)
+        assert synopsis.rectangle_sum((1, 4), (2, 6)) == pytest.approx(
+            full[1:5, 2:7].sum(), abs=1e-8
+        )
+
+    def test_zero_values_dropped_and_bounds_checked(self):
+        synopsis = WaveletSynopsis2D((4, 4), {(0, 0): 1.0, (1, 1): 0.0})
+        assert synopsis.size == 1
+        with pytest.raises(InvalidInputError):
+            WaveletSynopsis2D((4, 4), {(4, 0): 1.0})
+        with pytest.raises(InvalidInputError):
+            WaveletSynopsis2D((3, 4), {})
+
+
+class TestThresholding2D:
+    def test_conventional_is_l2_optimal(self):
+        from itertools import combinations
+
+        matrix = random_matrix(4, 4, seed=10)
+        coefficients = haar_transform_2d(matrix)
+        budget = 3
+        conventional = conventional_synopsis_2d(matrix, budget)
+        cells = [(a, b) for a in range(4) for b in range(4)]
+        best = min(
+            WaveletSynopsis2D(
+                (4, 4), {cell: float(coefficients[cell]) for cell in subset}
+            ).l2_error(matrix)
+            for subset in combinations(cells, budget)
+        )
+        assert conventional.l2_error(matrix) == pytest.approx(best, abs=1e-9)
+
+    def test_budgets_respected(self):
+        matrix = random_matrix(8, 8, seed=11)
+        for budget in (0, 4, 16):
+            assert conventional_synopsis_2d(matrix, budget).size <= budget
+            assert greedy_abs_2d(matrix, budget).size <= budget
+
+    def test_greedy_beats_conventional_on_max_error(self):
+        matrix = random_matrix(8, 8, seed=12, high=1000)
+        budget = 8
+        greedy_error = greedy_abs_2d(matrix, budget).max_abs_error(matrix)
+        conventional_error = conventional_synopsis_2d(matrix, budget).max_abs_error(matrix)
+        assert greedy_error <= conventional_error + 1e-9
+
+    def test_greedy_meta_error_matches_actual(self):
+        matrix = random_matrix(8, 8, seed=13)
+        synopsis = greedy_abs_2d(matrix, 10)
+        assert synopsis.max_abs_error(matrix) == pytest.approx(
+            synopsis.meta["max_abs_error"], abs=1e-9
+        )
+
+    def test_greedy_error_decreases_with_budget(self):
+        matrix = random_matrix(8, 8, seed=14, high=1000)
+        errors = [greedy_abs_2d(matrix, b).max_abs_error(matrix) for b in (2, 8, 32)]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_full_budget_lossless(self):
+        matrix = random_matrix(4, 4, seed=15)
+        synopsis = greedy_abs_2d(matrix, 16)
+        assert synopsis.max_abs_error(matrix) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(InvalidInputError):
+            greedy_abs_2d(np.zeros((4, 4)), -1)
+        with pytest.raises(InvalidInputError):
+            conventional_synopsis_2d(np.zeros((4, 4)), -1)

@@ -1,0 +1,168 @@
+"""Unit tests for the Haar transform (error-tree convention)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInputError, NotPowerOfTwoError
+from repro.wavelet.transform import (
+    coefficient_level,
+    coefficient_levels,
+    decomposition_steps,
+    haar_basis_vector,
+    haar_transform,
+    inverse_haar_transform,
+    is_power_of_two,
+    normalized_significance,
+)
+
+PAPER_DATA = [5, 5, 0, 26, 1, 3, 14, 2]
+PAPER_TRANSFORM = [7, 2, -4, -3, 0, -13, -1, 6]
+
+
+class TestHaarTransform:
+    def test_paper_example(self):
+        assert haar_transform(PAPER_DATA).tolist() == PAPER_TRANSFORM
+
+    def test_single_element(self):
+        assert haar_transform([42.0]).tolist() == [42.0]
+
+    def test_two_elements(self):
+        assert haar_transform([10.0, 4.0]).tolist() == [7.0, 3.0]
+
+    def test_constant_vector_has_zero_details(self):
+        result = haar_transform([3.0] * 16)
+        assert result[0] == 3.0
+        assert np.all(result[1:] == 0.0)
+
+    def test_first_coefficient_is_mean(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=64)
+        assert haar_transform(data)[0] == pytest.approx(data.mean())
+
+    def test_linearity(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=32)
+        b = rng.normal(size=32)
+        combined = haar_transform(2.0 * a + 3.0 * b)
+        separate = 2.0 * haar_transform(a) + 3.0 * haar_transform(b)
+        np.testing.assert_allclose(combined, separate, atol=1e-12)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(NotPowerOfTwoError):
+            haar_transform([1.0, 2.0, 3.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInputError):
+            haar_transform([])
+
+    def test_rejects_two_dimensional(self):
+        with pytest.raises(InvalidInputError):
+            haar_transform(np.ones((4, 4)))
+
+
+class TestInverseTransform:
+    def test_roundtrip_paper_example(self):
+        recovered = inverse_haar_transform(haar_transform(PAPER_DATA))
+        np.testing.assert_allclose(recovered, PAPER_DATA)
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(1)
+        for exponent in (0, 1, 3, 6, 10):
+            data = rng.normal(scale=100.0, size=2**exponent)
+            np.testing.assert_allclose(
+                inverse_haar_transform(haar_transform(data)), data, atol=1e-9
+            )
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(NotPowerOfTwoError):
+            inverse_haar_transform([1.0, 2.0, 3.0])
+
+    def test_inverse_of_unit_coefficients_matches_basis(self):
+        n = 16
+        for index in range(n):
+            coeffs = np.zeros(n)
+            coeffs[index] = 1.0
+            np.testing.assert_allclose(
+                inverse_haar_transform(coeffs), haar_basis_vector(index, n)
+            )
+
+
+class TestDecompositionSteps:
+    def test_paper_table1(self):
+        steps = decomposition_steps(PAPER_DATA)
+        assert steps[0][0].tolist() == [5, 13, 2, 8]
+        assert steps[0][1].tolist() == [0, -13, -1, 6]
+        assert steps[1][0].tolist() == [9, 5]
+        assert steps[1][1].tolist() == [-4, -3]
+        assert steps[2][0].tolist() == [7]
+        assert steps[2][1].tolist() == [2]
+
+    def test_number_of_steps(self):
+        assert len(decomposition_steps(np.zeros(32))) == 5
+
+
+class TestLevels:
+    def test_known_levels(self):
+        assert coefficient_level(0) == 0
+        assert coefficient_level(1) == 0
+        assert coefficient_level(2) == 1
+        assert coefficient_level(3) == 1
+        assert coefficient_level(4) == 2
+        assert coefficient_level(7) == 2
+        assert coefficient_level(8) == 3
+
+    def test_vectorized_matches_scalar(self):
+        n = 64
+        expected = [coefficient_level(i) for i in range(n)]
+        assert coefficient_levels(n).tolist() == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidInputError):
+            coefficient_level(-1)
+
+
+class TestSignificance:
+    def test_paper_example_values(self):
+        significance = normalized_significance(PAPER_TRANSFORM)
+        assert significance[0] == pytest.approx(7.0)
+        assert significance[1] == pytest.approx(2.0)
+        assert significance[2] == pytest.approx(4.0 / np.sqrt(2.0))
+        assert significance[5] == pytest.approx(13.0 / 2.0)
+
+    def test_is_nonnegative(self):
+        rng = np.random.default_rng(3)
+        significance = normalized_significance(rng.normal(size=128))
+        assert np.all(significance >= 0.0)
+
+
+class TestBasisVectors:
+    def test_average_vector(self):
+        assert haar_basis_vector(0, 8).tolist() == [1.0] * 8
+
+    def test_top_detail_vector(self):
+        assert haar_basis_vector(1, 4).tolist() == [1.0, 1.0, -1.0, -1.0]
+
+    def test_finest_detail_support(self):
+        vector = haar_basis_vector(5, 8)
+        assert vector.tolist() == [0, 0, 1, -1, 0, 0, 0, 0]
+
+    def test_reconstruction_identity(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=16)
+        coeffs = haar_transform(data)
+        rebuilt = sum(coeffs[i] * haar_basis_vector(i, 16) for i in range(16))
+        np.testing.assert_allclose(rebuilt, data, atol=1e-9)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(InvalidInputError):
+            haar_basis_vector(8, 8)
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 1024])
+    def test_powers(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -4, 3, 6, 12, 1000])
+    def test_non_powers(self, n):
+        assert not is_power_of_two(n)
