@@ -1,0 +1,125 @@
+"""Perf-regression benchmark for the greedy thresholding kernel.
+
+Times full greedy runs (``m`` removals) of the vectorized engines
+against the scalar reference engines across tree sizes and writes the
+results to ``BENCH_greedy_kernel.json`` at the repo root — the baseline
+future PRs diff their numbers against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_greedy_kernel.py           # full run
+    PYTHONPATH=src python benchmarks/bench_greedy_kernel.py --quick   # CI smoke
+
+The full run covers 2^10..2^18 leaves for greedy_abs (reference capped
+at 2^16; larger reference runs take minutes and are reported as null)
+and 2^10..2^16 for greedy_rel (reference capped at 2^14).  ``--quick``
+runs two small sizes once, skips the JSON write (so the committed
+baseline is not clobbered by a smoke run), and exits non-zero if the
+vectorized engine is meaningfully slower than the reference — a
+generous guard against catastrophic kernel regressions, not a
+performance assertion.
+"""
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import KERNEL_METRICS, bench_kernel_metric
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_greedy_kernel.json"
+
+#: --quick fails only if vectorized is slower than reference by more
+#: than this factor (generous: timing noise on shared CI runners).
+QUICK_SLOWDOWN_TOLERANCE = 1.5
+
+
+def _fmt(value, pattern="{:.3f}") -> str:
+    return pattern.format(value) if value is not None else "-"
+
+
+def print_rows(rows) -> None:
+    header = f"{'metric':<12}{'leaves':>9}{'vec s':>10}{'ref s':>10}{'vec rem/s':>13}{'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print(
+            f"{r['metric']:<12}{r['leaves']:>9}"
+            f"{_fmt(r['vectorized_seconds']):>10}"
+            f"{_fmt(r['reference_seconds']):>10}"
+            f"{r['vectorized_removals_per_sec']:>13.0f}"
+            f"{_fmt(r['speedup'], '{:.2f}x'):>9}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: two small sizes, one rep, no JSON write; "
+        "fails if the vectorized engine is clearly slower than the reference",
+    )
+    parser.add_argument("--reps", type=int, default=3, help="repetitions (min is kept)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=f"output JSON path (default: {DEFAULT_OUT}; ignored in --quick unless set)",
+    )
+    args = parser.parse_args(argv)
+
+    results = {}
+    for metric in KERNEL_METRICS:
+        if args.quick:
+            rows = bench_kernel_metric(
+                metric, log_sizes=[10, 12], reps=1, ref_max_log=12, seed=args.seed
+            )
+        else:
+            rows = bench_kernel_metric(metric, reps=args.reps, seed=args.seed)
+        results[metric] = rows
+        print_rows(rows)
+        print()
+
+    if args.quick:
+        failures = [
+            r
+            for rows in results.values()
+            for r in rows
+            if r["speedup"] is not None and r["speedup"] < 1.0 / QUICK_SLOWDOWN_TOLERANCE
+        ]
+        if failures:
+            for r in failures:
+                print(
+                    f"FAIL: {r['metric']} at {r['leaves']} leaves is "
+                    f"{1.0 / r['speedup']:.2f}x slower than the reference",
+                    file=sys.stderr,
+                )
+            return 1
+        print("quick smoke OK: vectorized engine is not slower than the reference")
+        if args.out is None:
+            return 0
+
+    out = args.out or DEFAULT_OUT
+    payload = {
+        "benchmark": "greedy_kernel",
+        "seed": args.seed,
+        "reps": 1 if args.quick else args.reps,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "timing": "interleaved min over reps; full run_to_exhaustion, construction excluded",
+        "results": results,
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,7 @@ Section 5.1 of the paper.  The algorithm repeatedly discards the
 coefficient whose removal incurs the smallest *maximum potential absolute
 error* ``MA_k`` (Eq. 7/8), maintaining for every internal node only four
 quantities — the max/min signed errors of its left and right leaf sets —
-and an addressable min-heap over the ``MA`` values.
+and a min-priority queue over the ``MA`` values.
 
 Because the maximum absolute error is not monotone under removals, the
 algorithm keeps discarding past the budget ``B`` and returns the best of
@@ -22,24 +22,74 @@ All three are complete binary trees over ``m`` leaves with coefficient
 slots ``1 .. m-1`` (plus the overall average in slot ``0`` when the tree
 is the whole decomposition), which is exactly what
 :class:`GreedyAbsTree` models.
+
+Vectorization (see docs/ALGORITHMS.md, "Complexity and vectorization")
+----------------------------------------------------------------------
+The four quantities of Eq. 8 are stored as one *doubled* segment tree:
+``smax[j]`` holds the max signed leaf error under tree node ``j`` and
+``sneg[j]`` the max *negated* leaf error (i.e. ``-min``) for
+``j in [1, 2m)``, leaves at ``[m, 2m)``.  Node ``k``'s ``max_left`` is
+then simply ``smax[2k]``, its ``-min_right`` is ``sneg[2k + 1]``, and
+both arrays aggregate with the *same* pairwise-max operation.  Storing
+the negated minima also collapses Eq. 8 to
+
+    ``MA_j = max(max(Lmax, Rneg) - c_j, max(Rmax, Lneg) + c_j)``
+
+which is bit-exact to the reference four-``abs`` form because IEEE-754
+``max`` is associative and ``x - c`` is monotone in ``x`` (so ``max``
+commutes with shifting both operands by the same constant).
+
+In the array layout the descendants of ``k`` at depth ``d`` form the
+contiguous slice ``[k << d, (k + 1) << d)``, so a removal processes its
+dirtied sub-tree level by level, *deepest first*: each level's ±c shift
+and its MA recomputation (which reads the already-processed level below)
+fuse into one pass of numpy slice ops — or one scalar memoryview loop on
+narrow levels, where interpreter arithmetic beats numpy's per-call
+dispatch.  Leaf entries carry a single signed error, so only ``smax`` is
+maintained in the leaf region and leaf minima read through ``smax``.
+The ancestor chain — inherently sequential — walks memoryviews carrying
+the path child's fresh aggregates in locals, so each ancestor costs one
+sibling read, two writes, and (while alive) one 5-op MA update; the
+root values it ends with give ``error_after`` for free.
+
+Dirtied priorities enter a *lazy* ``heapq``-based queue of packed
+integer keys ``(float64_bits(MA) << id_bits) | node``: because
+``MA >= 0``, IEEE-754 bit patterns order exactly like the floats, so the
+packed order is exactly the ``(priority, node)`` order of the scalar
+reference engine's addressable heap (``-0.0`` is normalized to ``+0.0``,
+which every float comparison treats as equal).  A key is pushed only
+when a node's ``MA`` drops below its lowest enqueued key, stale entries
+are re-validated against the node's current ``MA`` at pop time, and the
+queue is rebuilt from the alive nodes' current MAs once stale entries
+dominate — none of which can reorder the valid pops.
+
+Every arithmetic step mirrors the reference engine
+(:mod:`repro.algos.reference`) value-for-value — IEEE-754 double
+rounding is deterministic and ``np.maximum`` agrees with Python's
+``max`` on finite floats — so the two engines emit identical removal
+sequences, differential-tested under Hypothesis.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush, heappushpop
+from typing import NamedTuple
 
 import numpy as np
 
-from repro.algos.heap import AddressableMinHeap
 from repro.exceptions import InvalidInputError
 from repro.wavelet.synopsis import WaveletSynopsis
 from repro.wavelet.transform import haar_transform, is_power_of_two
 
 __all__ = ["Removal", "GreedyRun", "GreedyAbsTree", "greedy_abs", "greedy_abs_order"]
 
+#: Level width below which the memoryview scalar path beats numpy's
+#: per-call dispatch overhead (tuned via benchmarks/bench_greedy_kernel.py).
+_SCALAR_LEVEL_CUTOFF = 32
 
-@dataclass(frozen=True)
-class Removal:
+
+class Removal(NamedTuple):
     """One discard step: which node went, and the tree-wide error after."""
 
     node: int
@@ -92,148 +142,504 @@ class GreedyAbsTree:
         discarded ancestors (Section 5.2).  Defaults to all zeros.
     include_average:
         Whether slot 0 participates (True for whole decompositions).
+
+    ``coefficients`` and the error aggregates ``smax``/``sneg`` are
+    contiguous float64 ndarrays; the four quantities of the scalar
+    formulation are the views ``max_left == smax[2j]``,
+    ``-min_right == sneg[2j + 1]``, and so on.  The leaf region
+    ``[m, 2m)`` is maintained in ``smax`` only (a leaf's min equals its
+    max); ``sneg[m:]`` is valid at construction and never updated.
     """
 
     def __init__(self, coefficients, initial_errors=None, include_average: bool = True):
-        coeffs = np.asarray(coefficients, dtype=np.float64)
+        coeffs = np.array(coefficients, dtype=np.float64, copy=True)
         if coeffs.ndim != 1 or not is_power_of_two(coeffs.shape[0]):
             raise InvalidInputError("coefficient array length must be a power of two")
-        self.m = int(coeffs.shape[0])
-        self.coefficients = coeffs.tolist()
+        self.m = m = int(coeffs.shape[0])
+        self.coefficients = coeffs
         self.include_average = include_average
 
         if initial_errors is None:
-            errors = [0.0] * self.m
+            errors = np.zeros(m, dtype=np.float64)
         else:
-            errors = [float(e) for e in initial_errors]
-            if len(errors) != self.m:
+            errors = np.array(initial_errors, dtype=np.float64, copy=True)
+            if errors.ndim != 1 or errors.shape[0] != m:
                 raise InvalidInputError("initial_errors length must equal tree size")
 
-        m = self.m
-        self._single_leaf_error = errors[0] if m == 1 else 0.0
-        self.max_left = [0.0] * m
-        self.min_left = [0.0] * m
-        self.max_right = [0.0] * m
-        self.min_right = [0.0] * m
-        for j in range(m // 2, m):
-            self.max_left[j] = self.min_left[j] = errors[2 * j - m]
-            self.max_right[j] = self.min_right[j] = errors[2 * j + 1 - m]
-        for j in range(m // 2 - 1, 0, -1):
-            self._recompute_quantities(j)
+        self.smax = smax = np.zeros(2 * m, dtype=np.float64)
+        self.sneg = sneg = np.zeros(2 * m, dtype=np.float64)
+        smax[m:] = errors
+        np.negative(errors, out=sneg[m:])
+        a = m
+        while a > 1:
+            a >>= 1
+            b = 2 * a
+            left = slice(b, 2 * b, 2)
+            right = slice(b + 1, 2 * b, 2)
+            np.maximum(smax[left], smax[right], out=smax[a:b])
+            np.maximum(sneg[left], sneg[right], out=sneg[a:b])
 
-        self.heap = AddressableMinHeap()
-        for j in range(1, m):
-            self.heap.push(j, self._ma(j))
+        # Priorities.  _ma_arr[j] is the live MA of node j while alive;
+        # stale once removed (pops check _alive first).
+        self._ma_arr = ma = np.zeros(m, dtype=np.float64)
+        if m > 1:
+            c = coeffs[1:]
+            a_side = np.maximum(smax[2::2], sneg[3::2])
+            b_side = np.maximum(smax[3::2], sneg[2::2])
+            np.maximum(a_side - c, b_side + c, out=ma[1:])
+        self._alive = np.zeros(m, dtype=bool)
+        self._alive[1:] = True
+        self._alive[0] = include_average
+        self._alive_count = (m - 1) + (1 if include_average else 0)
+
+        # Scalar hot paths go through memoryviews: they share the numpy
+        # buffers but index at Python-list speed.
+        self._vmax = memoryview(smax)
+        self._vneg = memoryview(sneg)
+        self._vma = memoryview(ma)
+        self._vcoef = memoryview(coeffs)
+        self._valive = memoryview(self._alive)
         if include_average:
-            self.heap.push(0, self._ma_average())
+            c0 = coeffs[0]
+            ma[0] = max(smax[1] - c0, sneg[1] + c0)
+
+        # One float64 cell viewed as int64: writing _packf[0] = v makes
+        # _packi[0] the sortable IEEE bit pattern of v (v >= 0).
+        pack_cell = np.empty(1, dtype=np.float64)
+        self._packf = memoryview(pack_cell)
+        self._packi = memoryview(pack_cell.view(np.int64))
+        self._id_bits = id_bits = max(20, m.bit_length())
+        self._id_mask = (1 << id_bits) - 1
+
+        # Lazy min-queue of packed (MA-bits, node) keys.  Invariant:
+        # every alive node has an entry keyed at _minstored[node] <= its
+        # true MA, so the first pop whose key matches the node's current
+        # MA is the true minimum under the deterministic
+        # (priority, node-id) order of the reference engine's heap.
+        self._minstored = ma.copy()
+        self._vms = memoryview(self._minstored)
+        start = 0 if include_average else 1
+        ids = np.arange(start, m, dtype=np.int64)
+        keys = (((ma[start:] + 0.0).view(np.int64) << id_bits) | ids).tolist()
+        heapify(keys)
+        self._heap = keys
+
+        self._scratch1 = np.empty(m, dtype=np.float64)
+        self._scratch2 = np.empty(m, dtype=np.float64)
+        self._push_mask = np.empty(m, dtype=bool)
 
     # -- potential error computations -------------------------------------
 
     def _ma(self, j: int) -> float:
-        c = self.coefficients[j]
-        return max(
-            abs(self.max_left[j] - c),
-            abs(self.min_left[j] - c),
-            abs(self.max_right[j] + c),
-            abs(self.min_right[j] + c),
-        )
-
-    def _ma_average(self) -> float:
-        c = self.coefficients[0]
-        if self.m == 1:
-            err = self._single_leaf_error
-            return abs(err - c)
-        high = max(self.max_left[1], self.max_right[1])
-        low = min(self.min_left[1], self.min_right[1])
-        return max(abs(high - c), abs(low - c))
-
-    def _recompute_quantities(self, j: int) -> None:
+        c = self._vcoef[j]
+        if j == 0:
+            neg = -self._vmax[1] if self.m == 1 else self._vneg[1]
+            return max(self._vmax[1] - c, neg + c)
         left, right = 2 * j, 2 * j + 1
-        self.max_left[j] = max(self.max_left[left], self.max_right[left])
-        self.min_left[j] = min(self.min_left[left], self.min_right[left])
-        self.max_right[j] = max(self.max_left[right], self.max_right[right])
-        self.min_right[j] = min(self.min_left[right], self.min_right[right])
+        xl = self._vmax[left]
+        xr = self._vmax[right]
+        if left >= self.m:
+            gl, gr = -xl, -xr
+        else:
+            gl, gr = self._vneg[left], self._vneg[right]
+        return max(max(xl, gr) - c, max(xr, gl) + c)
 
     def current_error(self) -> float:
         """Tree-wide maximum absolute error of the running synopsis."""
+        v = self._vmax[1]
         if self.m == 1:
-            return abs(self._single_leaf_error)
-        return max(
-            abs(self.max_left[1]),
-            abs(self.min_left[1]),
-            abs(self.max_right[1]),
-            abs(self.min_right[1]),
-        )
+            return v if v >= 0.0 else -v
+        return max(v, self._vneg[1])
 
     # -- removal ----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.heap)
+        return self._alive_count
 
     def remove_next(self) -> Removal:
         """Discard the node with minimum ``MA`` and update the tree."""
-        k, _ = self.heap.pop()
-        value = self.coefficients[k]
+        if not self._alive_count:
+            raise IndexError("pop from empty heap")
+        heap = self._heap
+        valive = self._valive
+        vma = self._vma
+        id_bits = self._id_bits
+        id_mask = self._id_mask
+        packf = self._packf
+        packi = self._packi
+        key = heappop(heap)
+        while True:
+            k = key & id_mask
+            if not valive[k]:
+                key = heappop(heap)
+                continue
+            packf[0] = vma[k] + 0.0
+            current_key = (packi[0] << id_bits) | k
+            if key == current_key:
+                break
+            if key < current_key:
+                # Stale-low entry: the true MA rose since it was pushed.
+                # Reinsert at the current key (cf. AddressableMinHeap.update)
+                # and take the new minimum in one sift.
+                self._vms[k] = vma[k]
+                key = heappushpop(heap, current_key)
+            else:
+                # A lower entry for k is still queued.
+                key = heappop(heap)
+        value = self._vcoef[k]
+        valive[k] = False
+        self._alive_count -= 1
         if k == 0:
-            self._remove_average(value)
+            error_after = self._remove_average(value)
         else:
-            self._remove_detail(k, value)
-        return Removal(node=k, value=value, error_after=self.current_error())
+            error_after = self._remove_detail(k, value)
+        return Removal(k, value, error_after)
 
-    def _remove_average(self, c: float) -> None:
-        if self.m == 1:
-            self._single_leaf_error -= c
-            return
-        for j in range(1, self.m):
-            self.max_left[j] -= c
-            self.min_left[j] -= c
-            self.max_right[j] -= c
-            self.min_right[j] -= c
-            if j in self.heap:
-                self.heap.update(j, self._ma(j))
-
-    def _remove_detail(self, k: int, c: float) -> None:
+    def _remove_average(self, c: float) -> float:
         m = self.m
-        heap = self.heap
-        # The removed node's own leaves shift: left -c, right +c.
-        self.max_left[k] -= c
-        self.min_left[k] -= c
-        self.max_right[k] += c
-        self.min_right[k] += c
+        vmax = self._vmax
+        if m == 1:
+            v = vmax[1] - c
+            vmax[1] = v
+            return v if v >= 0.0 else -v
+        # Every leaf error shifts by -c, hence every max aggregate drops
+        # by c and every negated-min aggregate rises by c; every alive
+        # node's MA is refreshed in one pass.
+        if m <= 2 * _SCALAR_LEVEL_CUTOFF:
+            vneg = self._vneg
+            for j in range(1, m):
+                vmax[j] = vmax[j] - c
+                vneg[j] = vneg[j] + c
+            for j in range(m, 2 * m):
+                vmax[j] = vmax[j] - c
+            self._scalar_ma_refresh(1, m)
+        else:
+            half = m >> 1
+            self.smax[1:] -= c
+            self.sneg[1:m] += c
+            self._vector_ma_refresh(1, half)
+            self._vector_ma_refresh(half, m)
+        return max(vmax[1], self._vneg[1])
 
-        # Descendants: whole sub-trees shift uniformly (left -c, right +c);
-        # every alive descendant's MA must be refreshed (Section 5.1).
-        if 2 * k < m:
-            stack = [(2 * k, -c), (2 * k + 1, c)]
-            while stack:
-                j, delta = stack.pop()
-                self.max_left[j] += delta
-                self.min_left[j] += delta
-                self.max_right[j] += delta
-                self.min_right[j] += delta
-                if j in heap:
-                    heap.update(j, self._ma(j))
-                child = 2 * j
-                if child < m:
-                    stack.append((child, delta))
-                    stack.append((child + 1, delta))
+    def _remove_detail(self, k: int, c: float) -> float:
+        m = self.m
+        vmax = self._vmax
+        vneg = self._vneg
+        valive = self._valive
+        vma = self._vma
+        vms = self._vms
+        vcoef = self._vcoef
+        heap = self._heap
+        packf = self._packf
+        packi = self._packi
+        id_bits = self._id_bits
+        half = m >> 1
+        left = 2 * k
+        right = left + 1
 
-        # Ancestors: recompute the four quantities bottom-up and refresh MA.
-        j = k // 2
-        while j >= 1:
-            self._recompute_quantities(j)
-            if j in heap:
-                heap.update(j, self._ma(j))
-            j //= 2
-        if self.include_average and 0 in heap:
-            heap.update(0, self._ma_average())
+        if left >= m:
+            # Height-1 node: its children are the two leaf entries — one
+            # fused shift (smax only) that also yields k's new aggregates.
+            xl = vmax[left] - c
+            xr = vmax[right] + c
+            vmax[left] = xl
+            vmax[right] = xr
+            if xl >= xr:
+                cx = xl
+                cg = -xr
+            else:
+                cx = xr
+                cg = -xl
+        else:
+            # Sub-tree shifts: everything under k's left child moves by
+            # -c, everything under the right child by +c (Section 5.1).
+            # Level t below k is the contiguous block
+            # [k << t+1, (k + 1) << t+1), halves descending from 2k and
+            # 2k + 1.  Levels run DEEPEST FIRST so each interior level's
+            # MA refresh (which reads children one level down) fuses into
+            # the same pass as its shift.
+            smax = self.smax
+            sneg = self.sneg
+            a = left
+            w = 1
+            while a < m:
+                a <<= 1
+                w <<= 1
+            # Leaf level: only smax is maintained for leaf entries.
+            mid = a + w
+            if w <= 8:
+                for j in range(a, mid):
+                    vmax[j] = vmax[j] - c
+                for j in range(mid, mid + w):
+                    vmax[j] = vmax[j] + c
+            else:
+                smax[a:mid] -= c
+                smax[mid : mid + w] += c
+            a >>= 1
+            w >>= 1
+            # Interior levels, fused shift + MA refresh.
+            while a >= left:
+                mid = a + w
+                b = mid + w
+                if w <= _SCALAR_LEVEL_CUTOFF:
+                    lf = a >= half
+                    for j in range(a, mid):
+                        vmax[j] = vmax[j] - c
+                        vneg[j] = vneg[j] + c
+                        if valive[j]:
+                            cj = vcoef[j]
+                            jl = j + j
+                            jr = jl + 1
+                            xl = vmax[jl]
+                            xr = vmax[jr]
+                            if lf:
+                                gl = -xl
+                                gr = -xr
+                            else:
+                                gl = vneg[jl]
+                                gr = vneg[jr]
+                            hi = (xl if xl >= gr else gr) - cj
+                            t = (xr if xr >= gl else gl) + cj
+                            if t > hi:
+                                hi = t
+                            vma[j] = hi
+                            if hi < vms[j]:
+                                vms[j] = hi
+                                packf[0] = hi + 0.0
+                                heappush(heap, (packi[0] << id_bits) | j)
+                    for j in range(mid, b):
+                        vmax[j] = vmax[j] + c
+                        vneg[j] = vneg[j] - c
+                        if valive[j]:
+                            cj = vcoef[j]
+                            jl = j + j
+                            jr = jl + 1
+                            xl = vmax[jl]
+                            xr = vmax[jr]
+                            if lf:
+                                gl = -xl
+                                gr = -xr
+                            else:
+                                gl = vneg[jl]
+                                gr = vneg[jr]
+                            hi = (xl if xl >= gr else gr) - cj
+                            t = (xr if xr >= gl else gl) + cj
+                            if t > hi:
+                                hi = t
+                            vma[j] = hi
+                            if hi < vms[j]:
+                                vms[j] = hi
+                                packf[0] = hi + 0.0
+                                heappush(heap, (packi[0] << id_bits) | j)
+                else:
+                    smax[a:mid] -= c
+                    sneg[a:mid] += c
+                    smax[mid:b] += c
+                    sneg[mid:b] -= c
+                    self._vector_ma_refresh(a, b)
+                a >>= 1
+                w >>= 1
+            cx = vmax[left]
+            t = vmax[right]
+            if t > cx:
+                cx = t
+            cg = vneg[left]
+            t = vneg[right]
+            if t > cg:
+                cg = t
+
+        vmax[k] = cx
+        vneg[k] = cg
+        # Ancestor chain.  Each ancestor has exactly one child on the
+        # path from k (the sibling sub-tree is untouched), so its
+        # aggregates are the pairwise max of the path child's fresh
+        # values — carried in the locals cx/cg — and one sibling read.
+        child = k
+        while child > 1:
+            q = child >> 1
+            sib = child ^ 1
+            sx = vmax[sib]
+            sg = vneg[sib]
+            nmax = sx if sx >= cx else cx
+            nneg = sg if sg >= cg else cg
+            vmax[q] = nmax
+            vneg[q] = nneg
+            if valive[q]:
+                cq = vcoef[q]
+                if child & 1:
+                    # Path child is the right child: L = sibling, R = path.
+                    hi = (sx if sx >= cg else cg) - cq
+                    t = (cx if cx >= sg else sg) + cq
+                else:
+                    hi = (cx if cx >= sg else sg) - cq
+                    t = (sx if sx >= cg else cg) + cq
+                if t > hi:
+                    hi = t
+                vma[q] = hi
+                if hi < vms[q]:
+                    vms[q] = hi
+                    packf[0] = hi + 0.0
+                    heappush(heap, (packi[0] << id_bits) | q)
+            cx = nmax
+            cg = nneg
+            child = q
+        # cx/cg now hold the root aggregates: refresh the average slot
+        # (its MA reads only those) and report the tree-wide error.
+        if self.include_average and valive[0]:
+            c0 = vcoef[0]
+            ma0 = cx - c0
+            t = cg + c0
+            if t > ma0:
+                ma0 = t
+            vma[0] = ma0
+            if ma0 < vms[0]:
+                vms[0] = ma0
+                packf[0] = ma0 + 0.0
+                heappush(heap, packi[0] << id_bits)
+        return cx if cx >= cg else cg
+
+    def _scalar_ma_refresh(self, a: int, b: int) -> None:
+        """Recompute MA for alive nodes in ``[a, b)`` (children current)."""
+        half = self.m >> 1
+        vmax = self._vmax
+        vneg = self._vneg
+        valive = self._valive
+        vma = self._vma
+        vms = self._vms
+        vcoef = self._vcoef
+        heap = self._heap
+        packf = self._packf
+        packi = self._packi
+        id_bits = self._id_bits
+        for j in range(a, b):
+            if valive[j]:
+                cj = vcoef[j]
+                jl = j + j
+                jr = jl + 1
+                xl = vmax[jl]
+                xr = vmax[jr]
+                if j >= half:
+                    gl = -xl
+                    gr = -xr
+                else:
+                    gl = vneg[jl]
+                    gr = vneg[jr]
+                hi = (xl if xl >= gr else gr) - cj
+                t = (xr if xr >= gl else gl) + cj
+                if t > hi:
+                    hi = t
+                vma[j] = hi
+                if hi < vms[j]:
+                    vms[j] = hi
+                    packf[0] = hi + 0.0
+                    heappush(heap, (packi[0] << id_bits) | j)
+
+    def _vector_ma_refresh(self, a: int, b: int) -> None:
+        """Recompute MA for the id range ``[a, b)`` in one numpy pass.
+
+        New keys enter the queue only where they undercut the node's
+        lowest enqueued key (and the node is alive) — the batched
+        analogue of one ``heap.update`` per dirtied node.  ``[a, b)``
+        must not straddle the half-way point (children must be all
+        interior or all leaves).
+        """
+        if b <= a:
+            return
+        smax = self.smax
+        w = b - a
+        cseg = self.coefficients[a:b]
+        ma_seg = self._ma_arr[a:b]
+        s1 = self._scratch1[:w]
+        s2 = self._scratch2[:w]
+        left = slice(2 * a, 2 * b, 2)
+        right = slice(2 * a + 1, 2 * b, 2)
+        if 2 * a >= self.m:
+            # Children are leaf entries: negated minima read through smax.
+            np.negative(smax[right], out=s1)
+            np.maximum(smax[left], s1, out=s1)
+            np.negative(smax[left], out=s2)
+            np.maximum(smax[right], s2, out=s2)
+        else:
+            sneg = self.sneg
+            np.maximum(smax[left], sneg[right], out=s1)
+            np.maximum(smax[right], sneg[left], out=s2)
+        np.subtract(s1, cseg, out=ma_seg)
+        np.add(s2, cseg, out=s1)
+        np.maximum(ma_seg, s1, out=ma_seg)
+        mask = self._push_mask[:w]
+        np.less(ma_seg, self._minstored[a:b], out=mask)
+        mask &= self._alive[a:b]
+        idx = mask.nonzero()[0]
+        if idx.size:
+            vms = self._vms
+            heap = self._heap
+            vals = ma_seg[idx]
+            keys = ((vals + 0.0).view(np.int64) << self._id_bits) | (idx + a)
+            for off, v, key in zip(idx.tolist(), vals.tolist(), keys.tolist()):
+                vms[a + off] = v
+                heappush(heap, key)
 
     def run_to_exhaustion(self) -> GreedyRun:
-        """Discard every node; return the ordered removal sequence."""
+        """Discard every node; return the ordered removal sequence.
+
+        Same semantics as calling :meth:`remove_next` until empty, with
+        the pop loop inlined (locals bound once) and the lazy queue
+        periodically compacted: when stale entries far outnumber alive
+        nodes the heap is rebuilt with one exact key per alive node at
+        its *current* MA.  A rebuilt key pops exactly where the node's
+        lowest prior entry would have validated or re-inserted to, so
+        the valid pop sequence — and hence the removal sequence — is
+        unchanged.
+        """
         initial = self.current_error()
         removals = []
-        while len(self.heap):
-            removals.append(self.remove_next())
+        append = removals.append
+        valive = self._valive
+        vma = self._vma
+        vms = self._vms
+        vcoef = self._vcoef
+        packf = self._packf
+        packi = self._packi
+        id_bits = self._id_bits
+        id_mask = self._id_mask
+        remove_detail = self._remove_detail
+        remove_average = self._remove_average
+        new = tuple.__new__
+        cls = Removal
+        alive = self._alive_count
+        heap = self._heap
+        while alive:
+            if len(heap) > 4 * alive + 4096:
+                ids = self._alive.nonzero()[0]
+                vals = self._ma_arr[ids] + 0.0
+                self._minstored[ids] = vals
+                heap = ((vals.view(np.int64) << id_bits) | ids).tolist()
+                heapify(heap)
+                self._heap = heap
+            key = heappop(heap)
+            while True:
+                k = key & id_mask
+                if not valive[k]:
+                    key = heappop(heap)
+                    continue
+                packf[0] = vma[k] + 0.0
+                current_key = (packi[0] << id_bits) | k
+                if key == current_key:
+                    break
+                if key < current_key:
+                    vms[k] = vma[k]
+                    key = heappushpop(heap, current_key)
+                else:
+                    key = heappop(heap)
+            value = vcoef[k]
+            valive[k] = False
+            alive -= 1
+            self._alive_count = alive
+            if k:
+                error_after = remove_detail(k, value)
+            else:
+                error_after = remove_average(value)
+            append(new(cls, (k, value, error_after)))
         return GreedyRun(removals=removals, initial_error=initial)
 
 

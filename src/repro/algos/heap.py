@@ -13,6 +13,8 @@ runs coefficient-by-coefficient).
 
 from __future__ import annotations
 
+from heapq import heapify
+
 __all__ = ["AddressableMinHeap"]
 
 
@@ -67,6 +69,32 @@ class AddressableMinHeap:
             self._sift_up(index)
         else:
             self._sift_down(index)
+
+    def update_many(self, updates) -> None:
+        """Batch reprioritization of ``(item_id, priority)`` pairs.
+
+        Equivalent to calling :meth:`update` once per pair (KeyError if
+        any item is absent; the last pair wins on duplicate ids), but
+        when the batch is large relative to the heap it overwrites all
+        entries first and restores the invariant with a single bottom-up
+        heapify — ``O(n)`` instead of ``O(batch · log n)`` sift calls.
+        The pop order is unaffected either way: it depends only on the
+        ``(priority, item_id)`` multiset, not the internal layout.
+        """
+        pairs = list(updates)
+        if not pairs:
+            return
+        entries = self._entries
+        if len(pairs) * len(entries).bit_length() < len(entries):
+            for item_id, priority in pairs:
+                self.update(item_id, priority)
+            return
+        positions = self._positions
+        for item_id, priority in pairs:
+            entries[positions[item_id]] = (priority, item_id)
+        heapify(entries)
+        for index, (_, item_id) in enumerate(entries):
+            positions[item_id] = index
 
     def push_or_update(self, item_id: int, priority: float) -> None:
         """``update`` when present, ``push`` otherwise."""

@@ -8,15 +8,19 @@ from repro.bench.harness import (
     measure_centralized,
     measure_distributed,
 )
+from repro.bench.kernel import KERNEL_METRICS, bench_kernel_metric, kernel_inputs
 from repro.bench.reporting import format_table, format_value, print_table
 
 __all__ = [
     "BenchSettings",
     "DP_BYTES_PER_ROW_ENTRY",
     "GREEDY_BYTES_PER_POINT",
+    "KERNEL_METRICS",
     "Measurement",
+    "bench_kernel_metric",
     "format_table",
     "format_value",
+    "kernel_inputs",
     "measure_centralized",
     "measure_distributed",
     "print_table",

@@ -1,0 +1,99 @@
+"""Greedy-kernel micro-benchmark: vectorized engines vs scalar reference.
+
+Measures full runs to exhaustion (``m`` removals on ``m`` coefficients)
+of the vectorized :class:`~repro.algos.greedy_abs.GreedyAbsTree` /
+:class:`~repro.algos.greedy_rel.GreedyRelTree` against the scalar
+oracles in :mod:`repro.algos.reference`, reporting removals/sec and the
+speedup per size.  This is the repo's perf-regression baseline: the
+results land in ``BENCH_greedy_kernel.json`` at the repo root (written
+by ``benchmarks/bench_greedy_kernel.py``) so future PRs can diff.
+
+Timing discipline: the two engines are *interleaved* within each
+repetition and the minimum over repetitions is kept, which suppresses
+the machine-level noise that plagues back-to-back wall-clock runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.algos.greedy_abs import GreedyAbsTree
+from repro.algos.greedy_rel import GreedyRelTree
+from repro.algos.reference import ScalarGreedyAbsTree, ScalarGreedyRelTree
+
+__all__ = ["KERNEL_METRICS", "bench_kernel_metric", "kernel_inputs"]
+
+#: Benchmarked metrics and their default size grids (log2 of the leaf
+#: count).  The scalar reference is only run up to ``ref_max_log`` —
+#: beyond that a single repetition takes minutes and the column is
+#: reported as null rather than extrapolated.
+KERNEL_METRICS = {
+    "greedy_abs": {"log_sizes": range(10, 19), "ref_max_log": 16},
+    "greedy_rel": {"log_sizes": range(10, 17), "ref_max_log": 14},
+}
+
+
+def kernel_inputs(log_leaves: int, seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
+    """Reproducible (coefficients, leaf_values) for a 2**log_leaves tree."""
+    rng = np.random.default_rng(seed + log_leaves)
+    m = 1 << log_leaves
+    coefficients = rng.normal(0.0, 10.0, m)
+    leaf_values = rng.normal(0.0, 50.0, m)
+    return coefficients, leaf_values
+
+
+def _time_run(make_tree: Callable[[], object]) -> float:
+    tree = make_tree()  # construction excluded: the removals are the kernel
+    start = time.perf_counter()
+    tree.run_to_exhaustion()
+    return time.perf_counter() - start
+
+
+def bench_kernel_metric(
+    metric: str,
+    log_sizes=None,
+    reps: int = 3,
+    ref_max_log: int | None = None,
+    seed: int = 7,
+) -> list[dict]:
+    """Benchmark one metric; returns one row dict per size.
+
+    Rows contain ``leaves``, ``removals_per_sec`` for both engines, and
+    ``speedup`` (null where the reference was not run).
+    """
+    spec = KERNEL_METRICS[metric]
+    if log_sizes is None:
+        log_sizes = spec["log_sizes"]
+    if ref_max_log is None:
+        ref_max_log = spec["ref_max_log"]
+    rows = []
+    for log_leaves in log_sizes:
+        m = 1 << log_leaves
+        coefficients, leaf_values = kernel_inputs(log_leaves, seed)
+        if metric == "greedy_abs":
+            make_vec = lambda: GreedyAbsTree(coefficients)  # noqa: E731
+            make_ref = lambda: ScalarGreedyAbsTree(coefficients)  # noqa: E731
+        else:
+            make_vec = lambda: GreedyRelTree(coefficients, leaf_values)  # noqa: E731
+            make_ref = lambda: ScalarGreedyRelTree(coefficients, leaf_values)  # noqa: E731
+        run_ref = log_leaves <= ref_max_log
+        vec_time = ref_time = float("inf")
+        for _ in range(reps):
+            vec_time = min(vec_time, _time_run(make_vec))
+            if run_ref:
+                ref_time = min(ref_time, _time_run(make_ref))
+        row = {
+            "metric": metric,
+            "log2_leaves": log_leaves,
+            "leaves": m,
+            "vectorized_seconds": vec_time,
+            "vectorized_removals_per_sec": m / vec_time,
+            "reference_seconds": ref_time if run_ref else None,
+            "reference_removals_per_sec": m / ref_time if run_ref else None,
+            "speedup": ref_time / vec_time if run_ref else None,
+        }
+        rows.append(row)
+    return rows

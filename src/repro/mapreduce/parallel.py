@@ -18,6 +18,7 @@ When to use which:
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
@@ -26,7 +27,18 @@ from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import FailureInjector, JobResult, LocalRuntime
 
-__all__ = ["ThreadPoolRuntime", "ThreadSafeFailureInjector"]
+__all__ = ["ThreadPoolRuntime", "ThreadSafeFailureInjector", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Worker count for :class:`ThreadPoolRuntime` when none is given.
+
+    One thread per available core, clamped to [2, 32]: the floor keeps
+    actual concurrency on single-core CI boxes, the cap bounds memory
+    and shuffle-lock contention on large hosts (map tasks are
+    numpy-heavy, so threads beyond the core count only add overhead).
+    """
+    return max(2, min(32, os.cpu_count() or 2))
 
 
 class ThreadSafeFailureInjector(FailureInjector):
@@ -46,9 +58,11 @@ class ThreadPoolRuntime(LocalRuntime):
 
     def __init__(
         self,
-        max_workers: int = 8,
+        max_workers: int | None = None,
         failure_injector: FailureInjector | None = None,
     ):
+        if max_workers is None:
+            max_workers = default_worker_count()
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         super().__init__(failure_injector)

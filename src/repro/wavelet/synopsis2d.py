@@ -169,6 +169,7 @@ class _Greedy2DEngine:
         n_rows, n_cols = self.shape
         r_lo, r_hi = node_leaf_range(a, n_rows)
         c_lo, c_hi = node_leaf_range(b, n_cols)
+        dirtied = []
         for other, item_id in self._ids.items():
             if item_id not in self.heap:
                 continue
@@ -176,7 +177,8 @@ class _Greedy2DEngine:
             o_r = node_leaf_range(oa, n_rows)
             o_c = node_leaf_range(ob, n_cols)
             if o_r[0] < r_hi and r_lo < o_r[1] and o_c[0] < c_hi and c_lo < o_c[1]:
-                self.heap.update(item_id, self._ma(other))
+                dirtied.append((item_id, self._ma(other)))
+        self.heap.update_many(dirtied)
         return node, value, float(np.max(np.abs(self.errors)))
 
     def __len__(self) -> int:

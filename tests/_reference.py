@@ -10,6 +10,15 @@ from itertools import combinations
 
 import numpy as np
 
+# The scalar node-at-a-time greedy engines live in repro.algos.reference
+# (they double as the perf-benchmark baseline); re-exported here so tests
+# have a single place to import oracles from.
+from repro.algos.reference import (  # noqa: F401
+    ScalarGreedyAbsTree,
+    ScalarGreedyRelTree,
+    scalar_greedy_abs_order,
+    scalar_greedy_rel_order,
+)
 from repro.wavelet.error_tree import leaf_sign, node_leaf_range
 from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
 from repro.wavelet.synopsis import WaveletSynopsis

@@ -98,6 +98,73 @@ class TestUpdates:
             heap.remove(42)
 
 
+class TestUpdateMany:
+    def test_empty_batch_is_noop(self):
+        heap = AddressableMinHeap()
+        heap.push(1, 1.0)
+        heap.update_many([])
+        assert heap.peek() == (1, 1.0)
+
+    def test_small_batch_matches_sequential_updates(self):
+        heap = AddressableMinHeap()
+        for i in range(64):
+            heap.push(i, float(i))
+        heap.update_many([(5, 100.0), (60, -0.5)])
+        assert heap.pop() == (60, -0.5)
+        assert heap.priority(5) == 100.0
+
+    def test_large_batch_takes_heapify_path(self):
+        rng = random.Random(7)
+        heap = AddressableMinHeap()
+        reference = {}
+        for i in range(100):
+            p = rng.uniform(0, 100)
+            heap.push(i, p)
+            reference[i] = p
+        batch = [(i, rng.uniform(0, 100)) for i in range(100)]
+        heap.update_many(batch)
+        reference.update(dict(batch))
+        drained = [heap.pop() for _ in range(100)]
+        expected = sorted(reference.items(), key=lambda kv: (kv[1], kv[0]))
+        assert drained == [(i, p) for i, p in expected]
+
+    def test_duplicate_ids_last_wins(self):
+        heap = AddressableMinHeap()
+        for i in range(4):
+            heap.push(i, 10.0)
+        heap.update_many([(2, 5.0), (2, 1.0), (0, 3.0), (1, 2.0), (3, 4.0)])
+        assert heap.pop() == (2, 1.0)
+        assert heap.pop() == (1, 2.0)
+
+    def test_missing_item_raises(self):
+        heap = AddressableMinHeap()
+        heap.push(1, 1.0)
+        with pytest.raises(KeyError):
+            heap.update_many([(1, 2.0), (99, 3.0)])
+
+    def test_batched_and_sequential_agree_randomized(self):
+        rng = random.Random(13)
+        a = AddressableMinHeap()
+        b = AddressableMinHeap()
+        for i in range(200):
+            p = rng.uniform(0, 100)
+            a.push(i, p)
+            b.push(i, p)
+        for _ in range(20):
+            k = rng.randrange(1, 150)
+            ids = rng.sample(range(200), k)
+            batch = [(i, rng.uniform(0, 100)) for i in ids if i in a]
+            a.update_many(batch)
+            for item, priority in batch:
+                b.update(item, priority)
+            for _ in range(rng.randrange(0, 5)):
+                if len(a):
+                    assert a.pop() == b.pop()
+        while len(a):
+            assert a.pop() == b.pop()
+        assert len(b) == 0
+
+
 class TestRandomizedAgainstReference:
     def test_matches_sorting_reference(self):
         rng = random.Random(42)

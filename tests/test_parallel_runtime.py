@@ -101,3 +101,22 @@ class TestFailureHandling:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             ThreadPoolRuntime(max_workers=0)
+
+
+class TestDefaultWorkerCount:
+    def test_default_derives_from_cpu_count(self):
+        import os
+
+        from repro.mapreduce.parallel import default_worker_count
+
+        expected = max(2, min(32, os.cpu_count() or 2))
+        assert default_worker_count() == expected
+        assert ThreadPoolRuntime().max_workers == expected
+
+    def test_default_is_clamped(self):
+        from repro.mapreduce.parallel import default_worker_count
+
+        assert 2 <= default_worker_count() <= 32
+
+    def test_explicit_worker_count_still_wins(self):
+        assert ThreadPoolRuntime(max_workers=3).max_workers == 3
