@@ -1,0 +1,150 @@
+"""Perf-regression benchmark for the DP combine kernel.
+
+Times the windowed ``combine_rows`` kernel against the retained scalar
+reference across row widths (plus batched ``leaf_rows`` against the
+per-leaf loop) and writes the results to ``BENCH_dp_kernel.json`` at the
+repo root — the baseline future PRs diff their numbers against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dp_kernel.py           # full run
+    PYTHONPATH=src python benchmarks/bench_dp_kernel.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_dp_kernel.py --check   # CI guard
+
+``--quick`` runs two widths once and exits non-zero if the dispatcher is
+meaningfully slower than the scalar reference.  ``--check`` runs the full
+grid and compares each width's *speedup ratio* against the committed
+baseline, failing on a >2x regression — speedups (vectorized vs scalar
+on the same machine) transfer across hosts where absolute seconds do not.
+"""
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.dp_kernel import DP_KERNEL_WIDTHS, bench_combine_widths, bench_leaf_batch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_dp_kernel.json"
+
+#: --quick fails only if the dispatcher is slower than the scalar
+#: reference by more than this factor (generous: CI timing noise).
+QUICK_SLOWDOWN_TOLERANCE = 1.5
+
+#: --check fails when a width's speedup drops below baseline/this factor.
+CHECK_REGRESSION_FACTOR = 2.0
+
+
+def print_rows(rows) -> None:
+    header = f"{'width':>7}{'vec s':>12}{'ref s':>12}{'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print(
+            f"{r['width']:>7}{r['vectorized_seconds']:>12.6f}"
+            f"{r['reference_seconds']:>12.6f}{r['speedup']:>8.2f}x"
+        )
+
+
+def check_against_baseline(rows, baseline_path: Path) -> int:
+    if not baseline_path.exists():
+        print(f"FAIL: baseline {baseline_path} not found", file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    baseline_by_width = {r["width"]: r for r in baseline["results"]["combine"]}
+    failures = []
+    for r in rows:
+        base = baseline_by_width.get(r["width"])
+        if base is None:
+            continue
+        floor = base["speedup"] / CHECK_REGRESSION_FACTOR
+        if r["speedup"] < floor:
+            failures.append(
+                f"width {r['width']}: speedup {r['speedup']:.2f}x is more than "
+                f"{CHECK_REGRESSION_FACTOR}x below the baseline {base['speedup']:.2f}x"
+            )
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print(f"check OK: no width regressed >{CHECK_REGRESSION_FACTOR}x vs {baseline_path.name}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: two widths, one rep, no JSON write; fails if the "
+        "dispatcher is clearly slower than the scalar reference",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression mode: full grid, compared against the committed "
+        f"baseline; fails on a >{CHECK_REGRESSION_FACTOR}x speedup regression",
+    )
+    parser.add_argument("--reps", type=int, default=3, help="repetitions (min is kept)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=f"output JSON path (default: {DEFAULT_OUT}; "
+        "ignored in --quick/--check unless set)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        rows = bench_combine_widths(widths=[16, 128], reps=1, seed=args.seed)
+    else:
+        rows = bench_combine_widths(reps=args.reps, seed=args.seed)
+    print_rows(rows)
+    leaf = bench_leaf_batch(reps=1 if args.quick else args.reps, seed=args.seed)
+    print(
+        f"\nleaf_rows batch ({leaf['leaves']} leaves): "
+        f"{leaf['vectorized_seconds']:.6f}s vs {leaf['reference_seconds']:.6f}s "
+        f"({leaf['speedup']:.2f}x)"
+    )
+
+    if args.quick:
+        slow = [r for r in rows if r["speedup"] < 1.0 / QUICK_SLOWDOWN_TOLERANCE]
+        for r in slow:
+            print(
+                f"FAIL: width {r['width']} is {1.0 / r['speedup']:.2f}x slower "
+                "than the scalar reference",
+                file=sys.stderr,
+            )
+        if slow:
+            return 1
+        print("quick smoke OK: dispatcher is not slower than the scalar reference")
+        if args.out is None:
+            return 0
+
+    if args.check:
+        return check_against_baseline(rows, args.out or DEFAULT_OUT)
+
+    out = args.out or DEFAULT_OUT
+    payload = {
+        "benchmark": "dp_kernel",
+        "seed": args.seed,
+        "reps": 1 if args.quick else args.reps,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "timing": "interleaved min over reps; per-call seconds",
+        "widths": DP_KERNEL_WIDTHS,
+        "results": {"combine": rows, "leaf_batch": leaf},
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

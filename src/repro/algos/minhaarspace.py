@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.exceptions import InfeasibleErrorBound, InvalidInputError
 from repro.wavelet.synopsis import WaveletSynopsis
@@ -42,8 +43,11 @@ __all__ = [
     "DualSolution",
     "effective_delta",
     "leaf_row",
+    "leaf_rows",
     "combine_rows",
+    "combine_rows_scalar",
     "combine_rows_restricted",
+    "combine_rows_restricted_scalar",
     "compute_subtree_rows",
     "compute_subtree_rows_restricted",
     "traceback_subtree",
@@ -51,6 +55,25 @@ __all__ = [
     "min_haar_space",
     "min_haar_space_restricted",
 ]
+
+#: Count stored at infeasible row entries: far above any real count, and
+#: small enough that the windowed kernel's int32 candidate sums — worst
+#: case two sentinels plus one — stay below ``int32`` max.
+INFEASIBLE_COUNT = np.iinfo(np.int32).max // 4
+
+#: Candidate-matrix size (|v domain| * |left row|) below which the scalar
+#: per-``v`` loop beats the windowed kernel: numpy's window setup costs a
+#: handful of array allocations, which only amortize once the batched
+#: reduction covers a few hundred cells (tuned with
+#: ``benchmarks/bench_dp_kernel.py``; see docs/ALGORITHMS.md).
+SCALAR_FALLBACK_CELLS = 256
+
+#: Cells per block of the windowed kernel's ``(v, vl)`` candidate matrix.
+#: Wide rows are processed in chunks this size so the three scratch
+#: matrices (int32 counts, float64 errors, float64 scores — ~640 KB
+#: total) stay cache-resident; one full-width pass at fine quantizations
+#: is memory-bound and measurably slower (benchmarks/bench_dp_kernel.py).
+_MAX_BLOCK_CELLS = 1 << 15
 
 
 def effective_delta(epsilon: float, delta: float, n: int) -> float:
@@ -116,33 +139,95 @@ class MRow:
 
 @dataclass
 class DualSolution:
-    """Output of a Problem-2 solve."""
+    """Output of a Problem-2 solve.
+
+    ``epsilon`` is the error bound the solve was asked for — carried on
+    the solution itself so callers that probe many bounds (the binary
+    search of IndirectHaar) can re-run the winning probe without keeping
+    an external solution-to-epsilon map.
+    """
 
     size: int
     max_error: float
     synopsis: WaveletSynopsis
+    epsilon: float | None = None
 
 
 def leaf_row(value: float, epsilon: float, delta: float) -> MRow:
     """Row of a data leaf: zero cost wherever ``|v - value| <= epsilon``."""
+    return leaf_rows([value], epsilon, delta)[0]
+
+
+def leaf_rows(values, epsilon: float, delta: float) -> list[MRow]:
+    """Rows of a whole batch of data leaves (one :func:`leaf_row` each).
+
+    The grid bounds of all rows are computed in one vectorized pass and a
+    single shared index ramp serves every row's error column — the
+    batched form the sub-tree map tasks use, where per-leaf Python setup
+    used to dominate the bottom DP layer.
+    """
     if epsilon < 0:
         raise InvalidInputError("epsilon must be non-negative")
     if delta <= 0:
         raise InvalidInputError("delta must be strictly positive")
-    start = math.ceil((value - epsilon) / delta - 1e-12)
-    stop = math.floor((value + epsilon) / delta + 1e-12)
-    if stop < start:
+    batch = np.asarray(values, dtype=np.float64)
+    starts = np.ceil((batch - epsilon) / delta - 1e-12).astype(np.int64)
+    stops = np.floor((batch + epsilon) / delta + 1e-12).astype(np.int64)
+    infeasible = stops < starts
+    if infeasible.any():
+        value = float(batch[int(np.argmax(infeasible))])
         raise InfeasibleErrorBound(
             f"no grid point within ±{epsilon} of {value} at quantization {delta}"
         )
-    grid = np.arange(start, stop + 1, dtype=np.int64)
-    errors = np.abs(grid * delta - value)
+    widths = stops - starts + 1
+    ramp = np.arange(int(widths.max()) if len(batch) else 0, dtype=np.int64)
+    rows = []
+    for value, start, width in zip(batch.tolist(), starts.tolist(), widths.tolist()):
+        grid = start + ramp[:width]
+        rows.append(
+            MRow(
+                start=start,
+                counts=np.zeros(width, dtype=np.int32),
+                errors=np.abs(grid * delta - value),
+                choices=np.full(width, -1, dtype=np.int64),
+            )
+        )
+    return rows
+
+
+def _build_row(v_start: int, counts, errors, choices, infeasible_message: str) -> MRow:
+    """Finish a combined row: canonicalize infeasible entries and trim.
+
+    Entries whose error is non-finite carry no usable pairing; both the
+    scalar and windowed kernels funnel through here so infeasible entries
+    are represented identically (``INFEASIBLE_COUNT`` / ``inf`` / ``-1``)
+    regardless of which kernel produced them.  Fringe infeasibility is
+    trimmed; interior holes (non-contiguous restricted domains) stay
+    explicit so parents skip them.
+    """
+    feasible = np.isfinite(errors)
+    if not feasible.any():
+        raise InfeasibleErrorBound(infeasible_message)
+    counts = np.where(feasible, counts, INFEASIBLE_COUNT).astype(np.int32)
+    choices = np.where(feasible, choices, -1)
+    first = int(np.argmax(feasible))
+    last = len(feasible) - 1 - int(np.argmax(feasible[::-1]))
     return MRow(
-        start=start,
-        counts=np.zeros(len(grid), dtype=np.int32),
-        errors=errors.astype(np.float64),
-        choices=np.full(len(grid), -1, dtype=np.int64),
+        start=v_start + first,
+        counts=counts[first : last + 1],
+        errors=errors[first : last + 1],
+        choices=choices[first : last + 1],
     )
+
+
+def _combined_domain(left: MRow, right: MRow) -> tuple[int, int]:
+    v_start = math.ceil((left.start + right.start) / 2)
+    v_stop = math.floor((left.end + right.end) / 2)
+    if v_stop < v_start:
+        raise InfeasibleErrorBound(
+            "empty combined domain (quantization too coarse for this epsilon)"
+        )
+    return v_start, v_stop
 
 
 def combine_rows(left: MRow, right: MRow, epsilon: float, delta: float) -> MRow:
@@ -153,17 +238,43 @@ def combine_rows(left: MRow, right: MRow, epsilon: float, delta: float) -> MRow:
     right.  On the grid this means choosing ``vl`` in the left domain with
     ``vr = 2v - vl`` in the right domain; ``z = 0`` corresponds to
     ``vl == v``.  The row minimizes count, then achieved error.
-    """
-    weight = _lexicographic_weight(epsilon, delta)
-    v_start = math.ceil((left.start + right.start) / 2)
-    v_stop = math.floor((left.end + right.end) / 2)
-    if v_stop < v_start:
-        raise InfeasibleErrorBound(
-            "empty combined domain (quantization too coarse for this epsilon)"
-        )
 
+    Dispatches between two kernels with identical results (tested
+    entry-for-entry): the windowed batch kernel for real rows, and the
+    per-``v`` scalar loop for tiny rows where the batch setup overhead
+    loses (:data:`SCALAR_FALLBACK_CELLS`).
+    """
+    v_start, v_stop = _combined_domain(left, right)
+    if (v_stop - v_start + 1) * len(left) <= SCALAR_FALLBACK_CELLS:
+        kernel = _combine_kernel_scalar
+    else:
+        kernel = _combine_kernel_windowed
+    counts, errors, choices = kernel(left, right, v_start, v_stop, epsilon, delta)
+    return _build_row(
+        v_start, counts, errors, choices, "no feasible incoming value for combined row"
+    )
+
+
+def combine_rows_scalar(left: MRow, right: MRow, epsilon: float, delta: float) -> MRow:
+    """The per-``v`` scalar combine, kept as the differential-test and
+    benchmark reference for the windowed kernel (and its small-row
+    fallback path)."""
+    v_start, v_stop = _combined_domain(left, right)
+    counts, errors, choices = _combine_kernel_scalar(
+        left, right, v_start, v_stop, epsilon, delta
+    )
+    return _build_row(
+        v_start, counts, errors, choices, "no feasible incoming value for combined row"
+    )
+
+
+def _combine_kernel_scalar(
+    left: MRow, right: MRow, v_start: int, v_stop: int, epsilon: float, delta: float
+):
+    """One tiny-slice numpy pass per incoming value ``v``."""
+    weight = _lexicographic_weight(epsilon, delta)
     width = v_stop - v_start + 1
-    counts = np.empty(width, dtype=np.int32)
+    counts = np.empty(width, dtype=np.int64)
     errors = np.empty(width, dtype=np.float64)
     choices = np.empty(width, dtype=np.int64)
 
@@ -171,8 +282,9 @@ def combine_rows(left: MRow, right: MRow, epsilon: float, delta: float) -> MRow:
         vl_lo = max(left.start, 2 * v - right.end)
         vl_hi = min(left.end, 2 * v - right.start)
         if vl_hi < vl_lo:
-            # No pairing for this v; mark as infeasible (pruned below).
-            counts[offset] = np.iinfo(np.int32).max // 2
+            # No pairing for this v (cannot occur inside the combined
+            # domain, kept for safety); canonicalized by _build_row.
+            counts[offset] = INFEASIBLE_COUNT
             errors[offset] = np.inf
             choices[offset] = -1
             continue
@@ -193,36 +305,100 @@ def combine_rows(left: MRow, right: MRow, epsilon: float, delta: float) -> MRow:
         counts[offset] = total_counts[best]
         errors[offset] = total_errors[best]
         choices[offset] = vl_lo + best
-
-    feasible = np.isfinite(errors)
-    if not feasible.any():
-        raise InfeasibleErrorBound("no feasible incoming value for combined row")
-    # Trim infeasible fringe entries (can only occur at the borders).
-    first = int(np.argmax(feasible))
-    last = width - 1 - int(np.argmax(feasible[::-1]))
-    return MRow(
-        start=v_start + first,
-        counts=counts[first : last + 1],
-        errors=errors[first : last + 1],
-        choices=choices[first : last + 1],
-    )
+    return counts, errors, choices
 
 
-def combine_rows_restricted(
-    left: MRow, right: MRow, z_offset: int, epsilon: float, delta: float
-) -> MRow:
-    """Combine child rows when the node may only keep its own coefficient.
+def _combine_kernel_windowed(
+    left: MRow, right: MRow, v_start: int, v_stop: int, epsilon: float, delta: float
+):
+    """All incoming values in one batched 2-D reduction.
 
-    The *restricted* variant of the DP: at each node the choice is binary —
-    drop the coefficient (``z = 0``) or keep its (grid-snapped) Haar value
-    ``z = z_offset * delta``.  This is the classic restricted-synopsis
-    search space; with the same grid it can never use fewer coefficients
-    than the unrestricted :func:`combine_rows` (tested).
+    Key observation: with the right row *reversed*, the candidate set of
+    every ``v`` is a contiguous window.  Writing ``k = vl - left.start``
+    and pairing ``vr = 2v - vl``, the reversed-right index is
+    ``k - m(v)`` with ``m(v) = 2v - left.start - right.end`` — so row
+    ``v`` of the candidate matrix is the fixed-length window of the
+    (sentinel-padded) reversed right row starting at ``pad - m(v)``, and
+    ``numpy.lib.stride_tricks.sliding_window_view`` materializes every
+    row's window without per-``v`` slicing.  One ``argmin`` over the
+    ``(v, vl)`` block then resolves every minimum, with the same
+    smallest-``vl`` tie-break as the scalar loop (first minimum wins).
     """
+    weight = _lexicographic_weight(epsilon, delta)
+    wl = len(left)
+    wr = len(right)
+    width = v_stop - v_start + 1
+
+    vs = np.arange(v_start, v_stop + 1, dtype=np.int64)
+    shifts = 2 * vs - left.start - right.end  # m(v), ascending by 2
+    pad_lo = max(int(shifts[-1]), 0)
+    pad_hi = max(wl - wr - int(shifts[0]), 0)
+    padded = pad_lo + wr + pad_hi
+    right_counts = np.full(padded, INFEASIBLE_COUNT, dtype=np.int32)
+    right_errors = np.full(padded, np.inf, dtype=np.float64)
+    right_counts[pad_lo : pad_lo + wr] = right.counts[::-1]
+    right_errors[pad_lo : pad_lo + wr] = right.errors[::-1]
+    # Window starts descend by exactly 2 per v, so the whole candidate
+    # matrix is a step -2 row slice of the sliding windows — a strided
+    # view, no per-v gather copies.
+    window_starts = pad_lo - shifts
+    count_windows = sliding_window_view(right_counts, wl)[int(window_starts[0]) :: -2][
+        :width
+    ]
+    error_windows = sliding_window_view(right_errors, wl)[int(window_starts[0]) :: -2][
+        :width
+    ]
+
+    # int32 throughout the count matrix halves its memory traffic; the
+    # sentinel is sized so even sentinel + sentinel + 1 cannot overflow.
+    left_counts_plus_one = (left.counts.astype(np.int32) + 1)[np.newaxis, :]
+    left_errors = left.errors[np.newaxis, :]
+    # v values where z = 0 is on the table: v must lie in both domains.
+    zero_lo = max(left.start, right.start)
+    zero_hi = min(left.end, right.end)
+
+    counts = np.empty(width, dtype=np.int64)
+    errors = np.empty(width, dtype=np.float64)
+    choices = np.empty(width, dtype=np.int64)
+    block = max(1, _MAX_BLOCK_CELLS // wl)
+    first = min(block, width)
+    # Scratch reused across blocks: the kernel's large-width cost is
+    # dominated by memory traffic, not arithmetic, so keeping the block
+    # matrices allocated once and cache-resident is most of the speedup.
+    total_counts = np.empty((first, wl), dtype=np.int32)
+    total_errors = np.empty((first, wl), dtype=np.float64)
+    scores = np.empty((first, wl), dtype=np.float64)
+    for begin in range(0, width, block):
+        end = min(begin + block, width)
+        rows = end - begin
+        counts_block = total_counts[:rows]
+        errors_block = total_errors[:rows]
+        scores_block = scores[:rows]
+        np.add(count_windows[begin:end], left_counts_plus_one, out=counts_block)
+        np.maximum(error_windows[begin:end], left_errors, out=errors_block)
+        v_block = vs[begin:end]
+        zero_rows = np.nonzero((v_block >= zero_lo) & (v_block <= zero_hi))[0]
+        if len(zero_rows):
+            # z == 0 stores nothing; applied to the integer counts BEFORE
+            # the weight multiply so tie-breaks stay bit-identical to the
+            # scalar kernel ((c-1)*w and c*w - w can differ in the last ulp).
+            counts_block[zero_rows, v_block[zero_rows] - left.start] -= 1
+        np.multiply(counts_block, weight, out=scores_block)
+        np.add(scores_block, errors_block, out=scores_block)
+        best = np.argmin(scores_block, axis=1)
+        picked = np.arange(rows)
+        counts[begin:end] = counts_block[picked, best]
+        errors[begin:end] = errors_block[picked, best]
+        choices[begin:end] = left.start + best
+    return counts, errors, choices
+
+
+def _restricted_candidates(
+    left: MRow, right: MRow, z_offset: int
+) -> tuple[list[tuple[int, int]], list[int], list[int], int, int]:
     candidates: list[tuple[int, int]] = [(0, 0)]  # (z grid offset, stored count)
     if z_offset != 0:
         candidates.append((z_offset, 1))
-
     starts = []
     ends = []
     for z, _ in candidates:
@@ -235,10 +411,64 @@ def combine_rows_restricted(
         raise InfeasibleErrorBound(
             "empty restricted domain (quantization too coarse for this epsilon)"
         )
+    return candidates, starts, ends, v_start, v_stop
 
+
+def combine_rows_restricted(
+    left: MRow, right: MRow, z_offset: int, epsilon: float, delta: float
+) -> MRow:
+    """Combine child rows when the node may only keep its own coefficient.
+
+    The *restricted* variant of the DP: at each node the choice is binary —
+    drop the coefficient (``z = 0``) or keep its (grid-snapped) Haar value
+    ``z = z_offset * delta``.  This is the classic restricted-synopsis
+    search space; with the same grid it can never use fewer coefficients
+    than the unrestricted :func:`combine_rows` (tested).
+
+    Both candidates are laid out as rows of one stacked score matrix and
+    resolved by a single ``argmin`` (``z = 0`` wins ties, matching the
+    sequential strictly-better update of the scalar reference).
+    """
+    candidates, starts, ends, v_start, v_stop = _restricted_candidates(
+        left, right, z_offset
+    )
     weight = _lexicographic_weight(epsilon, delta)
     width = v_stop - v_start + 1
-    counts = np.full(width, np.iinfo(np.int32).max // 2, dtype=np.int32)
+    stacked_counts = np.full((len(candidates), width), INFEASIBLE_COUNT, dtype=np.int64)
+    stacked_errors = np.full((len(candidates), width), np.inf, dtype=np.float64)
+    for row, ((z, stored), lo, hi) in enumerate(zip(candidates, starts, ends)):
+        if hi < lo:
+            continue
+        span = slice(lo - v_start, hi - v_start + 1)
+        lseg = slice(lo + z - left.start, hi + z - left.start + 1)
+        rseg = slice(lo - z - right.start, hi - z - right.start + 1)
+        stacked_counts[row, span] = (
+            left.counts[lseg].astype(np.int64) + right.counts[rseg] + stored
+        )
+        stacked_errors[row, span] = np.maximum(left.errors[lseg], right.errors[rseg])
+
+    scores = stacked_counts * weight + stacked_errors
+    pick = np.argmin(scores, axis=0)
+    columns = np.arange(width)
+    z_of = np.array([z for z, _ in candidates], dtype=np.int64)
+    counts = stacked_counts[pick, columns]
+    errors = stacked_errors[pick, columns]
+    choices = np.arange(v_start, v_stop + 1, dtype=np.int64) + z_of[pick]
+    return _build_row(
+        v_start, counts, errors, choices, "no feasible incoming value for restricted row"
+    )
+
+
+def combine_rows_restricted_scalar(
+    left: MRow, right: MRow, z_offset: int, epsilon: float, delta: float
+) -> MRow:
+    """Sequential per-candidate restricted combine (differential reference)."""
+    candidates, starts, ends, v_start, v_stop = _restricted_candidates(
+        left, right, z_offset
+    )
+    weight = _lexicographic_weight(epsilon, delta)
+    width = v_stop - v_start + 1
+    counts = np.full(width, INFEASIBLE_COUNT, dtype=np.int64)
     errors = np.full(width, np.inf, dtype=np.float64)
     choices = np.full(width, -1, dtype=np.int64)
     scores = np.full(width, np.inf, dtype=np.float64)
@@ -259,21 +489,8 @@ def combine_rows_restricted(
         choices[span] = np.where(better, view + z, choices[span])
         scores[span] = np.where(better, cand_scores, scores[span])
 
-    feasible = np.isfinite(errors)
-    if not feasible.any():
-        raise InfeasibleErrorBound("no feasible incoming value for restricted row")
-    first = int(np.argmax(feasible))
-    last = width - 1 - int(np.argmax(feasible[::-1]))
-    trimmed = slice(first, last + 1)
-    if not np.isfinite(errors[trimmed]).all():
-        # Restricted domains can be non-contiguous (union of two bands);
-        # keep infeasible holes explicit so parents skip them.
-        pass
-    return MRow(
-        start=v_start + first,
-        counts=counts[trimmed],
-        errors=errors[trimmed],
-        choices=choices[trimmed],
+    return _build_row(
+        v_start, counts, errors, choices, "no feasible incoming value for restricted row"
     )
 
 
@@ -415,7 +632,7 @@ def min_haar_space_restricted(data, epsilon: float, delta: float) -> DualSolutio
     delta = effective_delta(epsilon, delta, n)
     coefficients = haar_transform(values)
 
-    leaves = [leaf_row(v, epsilon, delta) for v in values]
+    leaves = leaf_rows(values, epsilon, delta)
     rows = compute_subtree_rows_restricted(leaves, coefficients, epsilon, delta)
     root_row = rows[1] if n > 1 else rows[0]
     average_offset = int(round(float(coefficients[0]) / delta))
@@ -438,7 +655,7 @@ def min_haar_space_restricted(data, epsilon: float, delta: float) -> DualSolutio
             "max_abs_error": error,
         },
     )
-    return DualSolution(size=size, max_error=error, synopsis=synopsis)
+    return DualSolution(size=size, max_error=error, synopsis=synopsis, epsilon=epsilon)
 
 
 def min_haar_space(data, epsilon: float, delta: float) -> DualSolution:
@@ -454,7 +671,7 @@ def min_haar_space(data, epsilon: float, delta: float) -> DualSolution:
     n = int(values.shape[0])
     delta = effective_delta(epsilon, delta, n)
 
-    leaves = [leaf_row(v, epsilon, delta) for v in values]
+    leaves = leaf_rows(values, epsilon, delta)
     rows = compute_subtree_rows(leaves, epsilon, delta)
     root_row = rows[1] if n > 1 else rows[0]
     size, error, chosen = finalize_root(root_row, epsilon, delta)
@@ -476,4 +693,4 @@ def min_haar_space(data, epsilon: float, delta: float) -> DualSolution:
             "max_abs_error": error,
         },
     )
-    return DualSolution(size=size, max_error=error, synopsis=synopsis)
+    return DualSolution(size=size, max_error=error, synopsis=synopsis, epsilon=epsilon)

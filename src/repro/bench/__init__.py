@@ -8,14 +8,24 @@ from repro.bench.harness import (
     measure_centralized,
     measure_distributed,
 )
+from repro.bench.dp_kernel import (
+    DP_KERNEL_WIDTHS,
+    bench_combine_widths,
+    bench_leaf_batch,
+    combine_inputs,
+)
 from repro.bench.kernel import KERNEL_METRICS, bench_kernel_metric, kernel_inputs
 from repro.bench.reporting import format_table, format_value, print_table
 
 __all__ = [
     "BenchSettings",
     "DP_BYTES_PER_ROW_ENTRY",
+    "DP_KERNEL_WIDTHS",
     "GREEDY_BYTES_PER_POINT",
     "KERNEL_METRICS",
+    "bench_combine_widths",
+    "bench_leaf_batch",
+    "combine_inputs",
     "Measurement",
     "bench_kernel_metric",
     "format_table",

@@ -1,0 +1,114 @@
+"""DP combine-kernel micro-benchmark: windowed kernel vs scalar reference.
+
+Times :func:`repro.algos.minhaarspace.combine_rows` (the production
+dispatcher, which routes real rows to the windowed batch kernel) against
+:func:`repro.algos.minhaarspace.combine_rows_scalar` (the retained
+per-``v`` reference) across row widths, plus the batched
+:func:`repro.algos.minhaarspace.leaf_rows` against a per-leaf loop.
+Results land in ``BENCH_dp_kernel.json`` at the repo root (written by
+``benchmarks/bench_dp_kernel.py``) — the perf-regression baseline future
+PRs diff against.
+
+Row width here is ``|domain|`` of each child row, i.e. ``~2·epsilon/delta``
+entries; ``effective_delta`` keeps production widths within this grid
+(finer quantizations are clamped).  The two kernels are interleaved
+within each repetition and the minimum over repetitions is kept, the
+same noise discipline as :mod:`repro.bench.kernel`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.algos.minhaarspace import (
+    MRow,
+    combine_rows,
+    combine_rows_scalar,
+    leaf_row,
+    leaf_rows,
+)
+
+__all__ = ["DP_KERNEL_WIDTHS", "bench_combine_widths", "bench_leaf_batch", "combine_inputs"]
+
+#: Default row-width grid.  16 sits in the scalar-fallback region (the
+#: dispatcher must not lose there); 64+ is the windowed kernel's domain.
+DP_KERNEL_WIDTHS = [16, 32, 64, 128, 256, 512, 1024]
+
+
+def combine_inputs(width: int, seed: int = 7) -> tuple[MRow, MRow, float]:
+    """Reproducible (left, right, epsilon) child rows of ``~width`` entries."""
+    rng = np.random.default_rng(seed + width)
+    epsilon = width / 2.0
+
+    def child_row() -> MRow:
+        center = float(rng.uniform(-3.0, 3.0))
+        start = math.ceil(center - epsilon)
+        stop = math.floor(center + epsilon)
+        size = stop - start + 1
+        return MRow(
+            start=start,
+            counts=rng.integers(0, 8, size).astype(np.int32),
+            errors=rng.uniform(0.0, epsilon, size),
+            choices=np.zeros(size, dtype=np.int64),
+        )
+
+    return child_row(), child_row(), epsilon
+
+
+def bench_combine_widths(
+    widths=None, reps: int = 3, seed: int = 7, delta: float = 1.0
+) -> list[dict]:
+    """Benchmark the combine kernels; returns one row dict per width."""
+    if widths is None:
+        widths = DP_KERNEL_WIDTHS
+    rows = []
+    for width in widths:
+        left, right, epsilon = combine_inputs(width, seed)
+        # Enough calls that per-call timer noise averages out on small rows.
+        calls = max(3, 4096 // width)
+        windowed_seconds = scalar_seconds = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            for _ in range(calls):
+                combine_rows(left, right, epsilon, delta)
+            windowed_seconds = min(windowed_seconds, (time.perf_counter() - start) / calls)
+            start = time.perf_counter()
+            for _ in range(calls):
+                combine_rows_scalar(left, right, epsilon, delta)
+            scalar_seconds = min(scalar_seconds, (time.perf_counter() - start) / calls)
+        rows.append(
+            {
+                "width": width,
+                "calls": calls,
+                "vectorized_seconds": windowed_seconds,
+                "reference_seconds": scalar_seconds,
+                "speedup": scalar_seconds / windowed_seconds,
+            }
+        )
+    return rows
+
+
+def bench_leaf_batch(
+    leaves: int = 4096, reps: int = 3, seed: int = 7, delta: float = 1.0
+) -> dict:
+    """Benchmark batched :func:`leaf_rows` against the per-leaf loop."""
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-100.0, 100.0, leaves)
+    epsilon = 25.0
+    batched_seconds = loop_seconds = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        leaf_rows(values, epsilon, delta)
+        batched_seconds = min(batched_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        [leaf_row(float(value), epsilon, delta) for value in values]
+        loop_seconds = min(loop_seconds, time.perf_counter() - start)
+    return {
+        "leaves": leaves,
+        "vectorized_seconds": batched_seconds,
+        "reference_seconds": loop_seconds,
+        "speedup": loop_seconds / batched_seconds,
+    }

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.thresholding import ALGORITHMS, build_synopsis
 from repro.exceptions import ReproError
+from repro.mapreduce.cluster import RUNTIMES, SimulatedCluster
 from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
 from repro.wavelet.synopsis import WaveletSynopsis
 
@@ -64,6 +65,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         delta=args.delta,
         sanity_bound=args.sanity_bound,
         subtree_leaves=args.subtree_leaves,
+        cluster=SimulatedCluster(runtime=args.runtime),
     )
     payload = synopsis.to_dict()
     if args.output:
@@ -122,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanity-bound", type=float, default=DEFAULT_SANITY_BOUND, help="rel-error S"
     )
     build.add_argument("--subtree-leaves", type=int, default=1024)
+    build.add_argument(
+        "--runtime",
+        default="local",
+        choices=sorted(RUNTIMES),
+        help="task execution engine: 'local' (sequential, cleanest cost-model "
+        "timings), 'threads' (parallel numpy-heavy tasks), 'process' "
+        "(parallel GIL-bound tasks)",
+    )
     build.add_argument("--output", help="write the synopsis JSON here")
     build.set_defaults(handler=_cmd_build)
 

@@ -373,6 +373,19 @@ class _ConstructJob(MapReduceJob):
         yield from records
 
 
+class _AverageJob(MapReduceJob):
+    """Pre-job: sub-tree averages (the root sub-tree's virtual leaves).
+
+    Module-level so it pickles for :class:`ProcessPoolRuntime`.
+    """
+
+    name = "dgreedy-averages"
+    num_reducers = 0
+
+    def map(self, split: InputSplit):
+        yield split.split_id, float(np.mean(split.values))
+
+
 def _distributed_greedy(
     engine: _GreedyEngine,
     data,
@@ -400,13 +413,6 @@ def _distributed_greedy(
     splits = aligned_splits(values, base_leaves)
 
     # Pre-job: sub-tree averages -> root sub-tree coefficients.
-    class _AverageJob(MapReduceJob):
-        name = "dgreedy-averages"
-        num_reducers = 0
-
-        def map(self, split: InputSplit):
-            yield split.split_id, float(np.mean(split.values))
-
     averages_result = cluster.run_job(_AverageJob(), splits)
     averages = np.empty(root_size, dtype=np.float64)
     for split_id, average in averages_result.output:

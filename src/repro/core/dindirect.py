@@ -181,10 +181,10 @@ def d_indirect_haar(
         return conventional
 
     # Probes skip the top-down pass; only the winning bound is constructed.
-    probe_epsilons: dict[int, float] = {}
-
+    # Each probe's solution carries its epsilon (DualSolution.epsilon), so
+    # re-running the winner needs no external solution-to-epsilon map.
     def solver(epsilon: float):
-        solution = dm_haar_space(
+        return dm_haar_space(
             values,
             epsilon,
             delta,
@@ -193,15 +193,13 @@ def d_indirect_haar(
             construct=False,
             restricted=restricted,
         )
-        probe_epsilons[id(solution)] = epsilon
-        return solution
 
     best, runs = indirect_haar_search(
         solver, error_low, error_high, budget, delta, max_iterations
     )
     final = dm_haar_space(
         values,
-        probe_epsilons[id(best)],
+        best.epsilon,
         delta,
         cluster,
         subtree_leaves=subtree_leaves,

@@ -35,6 +35,7 @@ from repro.algos.minhaarspace import (
     compute_subtree_rows,
     finalize_root,
     leaf_row,
+    leaf_rows,
     traceback_subtree,
 )
 from repro.exceptions import InfeasibleErrorBound, InvalidInputError
@@ -61,6 +62,10 @@ class RowDP:
         """Row of a raw data value."""
         raise NotImplementedError
 
+    def leaf_rows(self, values) -> list[MRow]:
+        """Rows of a batch of raw data values (override to vectorize)."""
+        return [self.leaf_row(float(value)) for value in values]
+
     def subtree_rows(self, leaf_rows: list[MRow], leaf_values=None) -> list[MRow | None]:
         """Run the DP bottom-up over one sub-tree; return all its rows."""
         raise NotImplementedError
@@ -85,6 +90,9 @@ class MinHaarSpaceDP(RowDP):
 
     def leaf_row(self, value: float) -> MRow:
         return leaf_row(value, self.epsilon, self.delta)
+
+    def leaf_rows(self, values) -> list[MRow]:
+        return leaf_rows(values, self.epsilon, self.delta)
 
     def subtree_rows(self, leaf_rows: list[MRow], leaf_values=None) -> list[MRow | None]:
         return compute_subtree_rows(leaf_rows, self.epsilon, self.delta)
@@ -117,6 +125,9 @@ class MinHaarSpaceRestrictedDP(RowDP):
 
     def leaf_row(self, value: float) -> MRow:
         return leaf_row(value, self.epsilon, self.delta)
+
+    def leaf_rows(self, values) -> list[MRow]:
+        return leaf_rows(values, self.epsilon, self.delta)
 
     def subtree_rows(self, leaf_rows: list[MRow], leaf_values=None) -> list[MRow | None]:
         from repro.algos.minhaarspace import compute_subtree_rows_restricted
@@ -156,6 +167,10 @@ class _BottomUpLayerJob(MapReduceJob):
     by the *parent* sub-tree.
     """
 
+    #: Map tasks write the driver-side row store (the HDFS-persistence
+    #: stand-in), so this job must run in the driver process.
+    process_safe = False
+
     def __init__(self, dp: RowDP, layer: Layer, row_store: dict, parent_leaf_count: int):
         self.dp = dp
         self.layer = layer
@@ -168,7 +183,7 @@ class _BottomUpLayerJob(MapReduceJob):
         spec = split.meta["spec"]
         if self.layer.is_bottom:
             leaf_values = np.asarray(split.values, dtype=np.float64)
-            leaf_rows = [self.dp.leaf_row(float(v)) for v in leaf_values]
+            leaf_rows = self.dp.leaf_rows(leaf_values)
         else:
             leaf_rows = split.meta["child_rows"]
             leaf_values = np.asarray(split.meta["child_values"], dtype=np.float64)
@@ -183,6 +198,9 @@ class _BottomUpLayerJob(MapReduceJob):
 
 class _TopDownLayerJob(MapReduceJob):
     """Coefficient selection: re-enter each sub-tree with its incoming value."""
+
+    #: Reads the driver-side row store filled by the bottom-up pass.
+    process_safe = False
 
     def __init__(self, dp: RowDP, layer: Layer, row_store: dict):
         self.dp = dp
@@ -357,4 +375,4 @@ def dm_haar_space(
             "constructed": construct,
         },
     )
-    return DualSolution(size=size, max_error=error, synopsis=synopsis)
+    return DualSolution(size=size, max_error=error, synopsis=synopsis, epsilon=epsilon)

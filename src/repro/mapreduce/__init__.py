@@ -8,9 +8,11 @@ paper's experimental shapes.
 """
 
 from repro.mapreduce.cluster import (
+    RUNTIMES,
     ClusterConfig,
     MemoryModel,
     SimulatedCluster,
+    make_runtime,
     makespan,
     price_log,
 )
@@ -18,6 +20,7 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import InputSplit, aligned_splits, block_splits
 from repro.mapreduce.job import MapReduceJob, stable_partition
 from repro.mapreduce.parallel import ThreadPoolRuntime, ThreadSafeFailureInjector
+from repro.mapreduce.process import ProcessPoolRuntime, ProcessSafeFailureInjector
 from repro.mapreduce.runtime import FailureInjector, JobResult, LocalRuntime
 from repro.mapreduce.serde import estimate_size, record_size
 
@@ -30,12 +33,16 @@ __all__ = [
     "LocalRuntime",
     "MapReduceJob",
     "MemoryModel",
+    "ProcessPoolRuntime",
+    "ProcessSafeFailureInjector",
+    "RUNTIMES",
     "SimulatedCluster",
     "ThreadPoolRuntime",
     "ThreadSafeFailureInjector",
     "aligned_splits",
     "block_splits",
     "estimate_size",
+    "make_runtime",
     "makespan",
     "price_log",
     "record_size",

@@ -33,9 +33,37 @@ from dataclasses import dataclass, field
 from repro.exceptions import MemoryBudgetExceeded
 from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import ThreadPoolRuntime
+from repro.mapreduce.process import ProcessPoolRuntime
 from repro.mapreduce.runtime import JobResult, LocalRuntime
 
-__all__ = ["ClusterConfig", "SimulatedCluster", "MemoryModel", "makespan", "price_log"]
+__all__ = [
+    "ClusterConfig",
+    "RUNTIMES",
+    "SimulatedCluster",
+    "MemoryModel",
+    "make_runtime",
+    "makespan",
+    "price_log",
+]
+
+#: Named runtimes selectable from the CLI / experiment configs.  See
+#: docs/ALGORITHMS.md ("Choosing a runtime") for when each wins.
+RUNTIMES: dict[str, type[LocalRuntime]] = {
+    "local": LocalRuntime,
+    "threads": ThreadPoolRuntime,
+    "process": ProcessPoolRuntime,
+}
+
+
+def make_runtime(name: str) -> LocalRuntime:
+    """Instantiate a runtime by registry name (default configuration)."""
+    try:
+        runtime_cls = RUNTIMES[name]
+    except KeyError:
+        options = ", ".join(sorted(RUNTIMES))
+        raise ValueError(f"unknown runtime {name!r} (choose from: {options})") from None
+    return runtime_cls()
 
 
 def makespan(task_seconds: list[float], slots: int) -> float:
@@ -112,8 +140,14 @@ class RunLog:
 class SimulatedCluster:
     """Runs jobs through :class:`LocalRuntime` and prices their placement."""
 
-    def __init__(self, config: ClusterConfig | None = None, runtime: LocalRuntime | None = None):
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        runtime: LocalRuntime | str | None = None,
+    ):
         self.config = config or ClusterConfig()
+        if isinstance(runtime, str):
+            runtime = make_runtime(runtime)
         self.runtime = runtime or LocalRuntime()
         self.log = RunLog()
 

@@ -14,18 +14,24 @@ When to use which:
 * ``ThreadPoolRuntime`` for *wall-clock* speed on numpy-heavy jobs (the
   DP's row combines release the GIL inside numpy); pure-Python tasks (the
   greedy engines) gain little under the GIL.
+* ``ProcessPoolRuntime`` (:mod:`repro.mapreduce.process`) for wall-clock
+  speed on those pure-Python, GIL-bound tasks.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.runtime import FailureInjector, JobResult, LocalRuntime
+from repro.mapreduce.runtime import (
+    FailureInjector,
+    LocalRuntime,
+    run_map_task,
+    run_reduce_task,
+)
 
 __all__ = ["ThreadPoolRuntime", "ThreadSafeFailureInjector", "default_worker_count"]
 
@@ -54,7 +60,12 @@ class ThreadSafeFailureInjector(FailureInjector):
 
 
 class ThreadPoolRuntime(LocalRuntime):
-    """Runs map/reduce tasks concurrently on a thread pool."""
+    """Runs map/reduce tasks concurrently on a thread pool.
+
+    Only the two execution hooks differ from :class:`LocalRuntime`; all
+    the order-sensitive bookkeeping is inherited, so outputs stay
+    byte-identical.
+    """
 
     def __init__(
         self,
@@ -68,96 +79,22 @@ class ThreadPoolRuntime(LocalRuntime):
         super().__init__(failure_injector)
         self.max_workers = max_workers
 
-    def run(self, job: MapReduceJob, splits: list[InputSplit]) -> JobResult:
-        from repro.mapreduce.counters import Counters
-        from repro.mapreduce.serde import record_size
-
-        counters = Counters()
-
+    def _execute_map_tasks(self, job: MapReduceJob, splits: list[InputSplit]):
         def map_task(split: InputSplit):
-            def attempt():
-                output = list(job.map(split))
-                if job.use_combiner:
-                    grouped: dict = defaultdict(list)
-                    for key, value in output:
-                        grouped[_hashable(key)].append((key, value))
-                    combined = []
-                    for pairs in grouped.values():
-                        key = pairs[0][0]
-                        combined.extend(job.combine(key, [v for _, v in pairs]))
-                    output = combined
-                return output
-
-            return self._run_attempts(attempt, f"{job.name}/map-{split.split_id}")
-
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            map_results = list(pool.map(map_task, splits))
-
-        map_task_seconds = [seconds for _, seconds in map_results]
-        all_map_output: list[tuple] = []
-        shuffle_bytes = 0
-        for split, (output, _) in zip(splits, map_results):
-            counters.increment("map.input_records", len(split))
-            counters.increment("map.output_records", len(output))
-            for key, value in output:
-                shuffle_bytes += record_size(key, value)
-            all_map_output.extend(output)
-        counters.increment("shuffle.bytes", shuffle_bytes)
-
-        if job.num_reducers == 0:
-            return JobResult(
-                job_name=job.name,
-                output=all_map_output,
-                counters=counters,
-                map_task_seconds=map_task_seconds,
-                reduce_task_seconds=[],
-                shuffle_bytes=shuffle_bytes,
-                map_output_records=len(all_map_output),
+            return self._run_attempts(
+                lambda: run_map_task(job, split), f"{job.name}/map-{split.split_id}"
             )
 
-        partitions: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
-        for key, value in all_map_output:
-            partitions[job.partition(key, job.num_reducers)].append((key, value))
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(map_task, splits))
 
+    def _execute_reduce_tasks(self, job: MapReduceJob, partitions: list[list[tuple]]):
         def reduce_task(indexed_partition):
             reducer_id, partition = indexed_partition
-
-            def attempt():
-                ordered = sorted(
-                    partition,
-                    key=lambda record: job.sort_key(record[0]),
-                    reverse=job.sort_descending,
-                )
-                return list(job.reduce_partition(ordered))
-
-            return self._run_attempts(attempt, f"{job.name}/reduce-{reducer_id}")
+            return self._run_attempts(
+                lambda: run_reduce_task(job, partition),
+                f"{job.name}/reduce-{reducer_id}",
+            )
 
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            reduce_results = list(pool.map(reduce_task, enumerate(partitions)))
-
-        reduce_task_seconds = [seconds for _, seconds in reduce_results]
-        reducer_outputs = [output for output, _ in reduce_results]
-        final_output: list[tuple] = []
-        for partition, output in zip(partitions, reducer_outputs):
-            counters.increment("reduce.input_records", len(partition))
-            counters.increment("reduce.output_records", len(output))
-            final_output.extend(output)
-
-        return JobResult(
-            job_name=job.name,
-            output=final_output,
-            counters=counters,
-            map_task_seconds=map_task_seconds,
-            reduce_task_seconds=reduce_task_seconds,
-            shuffle_bytes=shuffle_bytes,
-            map_output_records=len(all_map_output),
-            reducer_outputs=reducer_outputs,
-        )
-
-
-def _hashable(key):
-    try:
-        hash(key)
-        return key
-    except TypeError:
-        return repr(key)
+            return list(pool.map(reduce_task, enumerate(partitions)))

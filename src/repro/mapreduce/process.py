@@ -1,0 +1,160 @@
+"""A process-pool runtime: real parallelism for GIL-bound tasks.
+
+:class:`ProcessPoolRuntime` executes a job's map (and reduce) tasks on a
+``concurrent.futures.ProcessPoolExecutor``.  Where ``ThreadPoolRuntime``
+only helps numpy-heavy jobs (the GIL is released inside the kernels), a
+process pool also parallelizes the pure-Python stages — the greedy engine
+replays of DGreedyAbs and the traceback walks — which hold the GIL the
+whole time.
+
+Outputs are byte-identical to
+:class:`~repro.mapreduce.runtime.LocalRuntime`: the same split-order
+collection contract, with task bodies shipped as module-level functions
+over picklable ``(job, split)`` state.  Two things need care across the
+process boundary:
+
+* **Driver-side shared state.**  Some jobs are closures over mutable
+  driver state (the layered DP's jobs read and write the driver's row
+  store from their map tasks).  Such jobs declare ``process_safe = False``
+  and are executed in-process via the inherited ``LocalRuntime`` hooks —
+  correct, just not parallel.  Jobs default to ``process_safe = True``.
+* **Failure injection.**  A shared-RNG injector cannot exist in N
+  processes at once (each fork would replay the same draws, and the draw
+  *order* would depend on scheduling).  :class:`ProcessSafeFailureInjector`
+  instead derives an independent, deterministically-seeded injector per
+  task label, so the failure pattern is reproducible regardless of worker
+  count or completion order.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.mapreduce.hdfs import InputSplit
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import (
+    FailureInjector,
+    LocalRuntime,
+    run_map_task,
+    run_reduce_task,
+    run_task_attempts,
+)
+
+__all__ = ["ProcessPoolRuntime", "ProcessSafeFailureInjector", "default_process_count"]
+
+
+def default_process_count() -> int:
+    """Process count for :class:`ProcessPoolRuntime` when none is given.
+
+    One worker per available core, clamped to [2, 16]: the floor keeps
+    actual concurrency on single-core CI boxes, and the cap is tighter
+    than the thread pool's because every worker is a full interpreter
+    (fork/spawn cost, per-process numpy state, pickled task traffic).
+    """
+    return max(2, min(16, os.cpu_count() or 2))
+
+
+class ProcessSafeFailureInjector(FailureInjector):
+    """Failure injection that is deterministic across process pools.
+
+    Rather than sharing one RNG (impossible across processes without the
+    draw order depending on scheduling), :meth:`for_task` derives a fresh
+    :class:`FailureInjector` per task from ``(seed, crc32(task label))``.
+    Task labels are stable (job name + split/reducer id), so a given run
+    configuration fails exactly the same attempts no matter how many
+    workers execute it — or whether it runs in-process.
+    """
+
+    def for_task(self, task_label: str) -> FailureInjector:
+        task_seed = (self.seed ^ zlib.crc32(task_label.encode())) & 0xFFFFFFFF
+        return FailureInjector(
+            self.probability, seed=task_seed, max_attempts=self.max_attempts
+        )
+
+    def attempt_fails(self) -> bool:  # pragma: no cover - guard
+        raise TypeError(
+            "ProcessSafeFailureInjector draws per task; use for_task(label)"
+        )
+
+
+def _run_map_task_in_worker(args):
+    """Module-level worker body (bound methods don't pickle)."""
+    job, split, task_label, injector = args
+    return run_task_attempts(lambda: run_map_task(job, split), task_label, injector)
+
+
+def _run_reduce_task_in_worker(args):
+    job, partition, task_label, injector = args
+    return run_task_attempts(
+        lambda: run_reduce_task(job, partition), task_label, injector
+    )
+
+
+class ProcessPoolRuntime(LocalRuntime):
+    """Runs map/reduce tasks on a process pool.
+
+    Jobs (and their splits/outputs) must be picklable; jobs that share
+    driver-side state opt out with ``process_safe = False`` and fall back
+    to in-process execution.  Task timing is measured inside the worker,
+    so the simulated cluster prices the same per-task seconds it would
+    see from ``LocalRuntime`` (modulo interference noise).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        failure_injector: ProcessSafeFailureInjector | None = None,
+    ):
+        if max_workers is None:
+            max_workers = default_process_count()
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if failure_injector is not None and not isinstance(
+            failure_injector, ProcessSafeFailureInjector
+        ):
+            raise TypeError(
+                "ProcessPoolRuntime needs a ProcessSafeFailureInjector: a "
+                "shared-RNG injector's draw order would depend on scheduling"
+            )
+        super().__init__(failure_injector)
+        self.max_workers = max_workers
+
+    def _run_attempts(self, task_callable, task_label: str):
+        # In-process fallback path (process_safe=False jobs): derive the
+        # same per-label injector the workers would use, keeping failure
+        # patterns identical whichever side executes the task.
+        injector = (
+            self.failure_injector.for_task(task_label)
+            if self.failure_injector
+            else None
+        )
+        return run_task_attempts(task_callable, task_label, injector)
+
+    def _task_injector(self, task_label: str) -> FailureInjector | None:
+        if self.failure_injector is None:
+            return None
+        return self.failure_injector.for_task(task_label)
+
+    def _execute_map_tasks(self, job: MapReduceJob, splits: list[InputSplit]):
+        if not getattr(job, "process_safe", True):
+            return super()._execute_map_tasks(job, splits)
+        work = [
+            (job, split, label, self._task_injector(label))
+            for split in splits
+            for label in [f"{job.name}/map-{split.split_id}"]
+        ]
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(_run_map_task_in_worker, work))
+
+    def _execute_reduce_tasks(self, job: MapReduceJob, partitions: list[list[tuple]]):
+        if not getattr(job, "process_safe", True):
+            return super()._execute_reduce_tasks(job, partitions)
+        work = [
+            (job, partition, label, self._task_injector(label))
+            for reducer_id, partition in enumerate(partitions)
+            for label in [f"{job.name}/reduce-{reducer_id}"]
+        ]
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(_run_reduce_task_in_worker, work))

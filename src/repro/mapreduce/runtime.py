@@ -7,6 +7,19 @@ the measured task times onto a configurable number of slots.  This split —
 real computation, simulated placement — is what lets a laptop reproduce the
 scaling *shapes* of a 9-node Hadoop deployment (see DESIGN.md §3).
 
+:class:`LocalRuntime` is also the template the concurrent runtimes extend:
+:meth:`LocalRuntime.run` owns everything order-sensitive (counters, shuffle
+accounting, partitioning, split-order collection) and delegates only the
+*execution* of the task batch to :meth:`LocalRuntime._execute_map_tasks` /
+:meth:`LocalRuntime._execute_reduce_tasks`.  ``ThreadPoolRuntime`` and
+``ProcessPoolRuntime`` override just those two hooks, which is how all
+three runtimes stay byte-identical on deterministic jobs (tested).
+
+The per-task work itself lives in module-level functions
+(:func:`run_map_task`, :func:`run_reduce_task`, :func:`run_task_attempts`)
+so a process-pool worker can import and run them — bound methods of a
+runtime holding live state would not pickle.
+
 Failure injection (`FailureInjector`) emulates task attempts: a failed
 attempt is retried up to ``max_attempts`` times, as Hadoop's ApplicationMaster
 would, and the wasted attempt time is charged to the task.
@@ -26,7 +39,14 @@ from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.serde import record_size
 
-__all__ = ["FailureInjector", "JobResult", "LocalRuntime"]
+__all__ = [
+    "FailureInjector",
+    "JobResult",
+    "LocalRuntime",
+    "run_map_task",
+    "run_reduce_task",
+    "run_task_attempts",
+]
 
 
 class FailureInjector:
@@ -36,6 +56,7 @@ class FailureInjector:
         if not 0.0 <= probability < 1.0:
             raise ValueError("failure probability must be in [0, 1)")
         self.probability = probability
+        self.seed = seed
         self.max_attempts = max_attempts
         self._rng = np.random.default_rng(seed)
 
@@ -61,6 +82,66 @@ class JobResult:
     reducer_outputs: list[list[tuple]] = field(default_factory=list)
 
 
+def _hashable(key):
+    """Map a key to something usable as a dict key for combining."""
+    try:
+        hash(key)
+        return key
+    except TypeError:
+        return repr(key)
+
+
+def apply_combiner(job: MapReduceJob, output: list[tuple]) -> list[tuple]:
+    """Group one map task's output by key and run the job's combiner."""
+    grouped: dict = defaultdict(list)
+    for key, value in output:
+        grouped[_hashable(key)].append((key, value))
+    combined: list[tuple] = []
+    for pairs in grouped.values():
+        key = pairs[0][0]
+        combined.extend(job.combine(key, [value for _, value in pairs]))
+    return combined
+
+
+def run_map_task(job: MapReduceJob, split: InputSplit) -> list[tuple]:
+    """One map task: map a split, then combine locally if configured."""
+    output = list(job.map(split))
+    if job.use_combiner:
+        output = apply_combiner(job, output)
+    return output
+
+
+def run_reduce_task(job: MapReduceJob, partition: list[tuple]) -> list[tuple]:
+    """One reduce task: sort the partition, then reduce it whole."""
+    ordered = sorted(
+        partition,
+        key=lambda record: job.sort_key(record[0]),
+        reverse=job.sort_descending,
+    )
+    return list(job.reduce_partition(ordered))
+
+
+def run_task_attempts(
+    task_callable, task_label: str, injector: FailureInjector | None = None
+) -> tuple[object, float]:
+    """Run one task with retries; return (result, total attempt seconds)."""
+    attempts = 0
+    total_seconds = 0.0
+    max_attempts = injector.max_attempts if injector else 1
+    while True:
+        attempts += 1
+        start = time.perf_counter()
+        failed = injector is not None and injector.attempt_fails()
+        if not failed:
+            result = task_callable()
+            total_seconds += time.perf_counter() - start
+            return result, total_seconds
+        # A failed attempt still burns (a fraction of) its runtime.
+        total_seconds += time.perf_counter() - start
+        if attempts >= max_attempts:
+            raise JobFailedError(f"task {task_label} failed after {attempts} attempts")
+
+
 class LocalRuntime:
     """Runs jobs in-process with per-task timing and attempt retries."""
 
@@ -68,56 +149,46 @@ class LocalRuntime:
         self.failure_injector = failure_injector
 
     def _run_attempts(self, task_callable, task_label: str) -> tuple[object, float]:
-        """Run one task with retries; return (result, total attempt seconds)."""
-        attempts = 0
-        total_seconds = 0.0
-        max_attempts = (
-            self.failure_injector.max_attempts if self.failure_injector else 1
-        )
-        while True:
-            attempts += 1
-            start = time.perf_counter()
-            failed = self.failure_injector is not None and self.failure_injector.attempt_fails()
-            if not failed:
-                result = task_callable()
-                total_seconds += time.perf_counter() - start
-                return result, total_seconds
-            # A failed attempt still burns (a fraction of) its runtime.
-            total_seconds += time.perf_counter() - start
-            if attempts >= max_attempts:
-                raise JobFailedError(
-                    f"task {task_label} failed after {attempts} attempts"
-                )
+        return run_task_attempts(task_callable, task_label, self.failure_injector)
+
+    def _execute_map_tasks(
+        self, job: MapReduceJob, splits: list[InputSplit]
+    ) -> list[tuple[list[tuple], float]]:
+        """Run every map task; return ``(output, seconds)`` in split order."""
+        return [
+            self._run_attempts(
+                lambda split=split: run_map_task(job, split),
+                f"{job.name}/map-{split.split_id}",
+            )
+            for split in splits
+        ]
+
+    def _execute_reduce_tasks(
+        self, job: MapReduceJob, partitions: list[list[tuple]]
+    ) -> list[tuple[list[tuple], float]]:
+        """Run every reduce task; return ``(output, seconds)`` in partition order."""
+        return [
+            self._run_attempts(
+                lambda partition=partition: run_reduce_task(job, partition),
+                f"{job.name}/reduce-{reducer_id}",
+            )
+            for reducer_id, partition in enumerate(partitions)
+        ]
 
     def run(self, job: MapReduceJob, splits: list[InputSplit]) -> JobResult:
         """Execute ``job`` over ``splits`` and return its :class:`JobResult`."""
         counters = Counters()
-        map_task_seconds: list[float] = []
+        map_results = self._execute_map_tasks(job, splits)
+
+        map_task_seconds = [seconds for _, seconds in map_results]
         all_map_output: list[tuple] = []
         shuffle_bytes = 0
-
-        for split in splits:
-            def map_task(split=split):
-                output = list(job.map(split))
-                if job.use_combiner:
-                    grouped: dict = defaultdict(list)
-                    for key, value in output:
-                        grouped[_hashable(key)].append((key, value))
-                    combined = []
-                    for pairs in grouped.values():
-                        key = pairs[0][0]
-                        combined.extend(job.combine(key, [v for _, v in pairs]))
-                    output = combined
-                return output
-
-            output, seconds = self._run_attempts(map_task, f"{job.name}/map-{split.split_id}")
-            map_task_seconds.append(seconds)
+        for split, (output, _) in zip(splits, map_results):
             counters.increment("map.input_records", len(split))
             counters.increment("map.output_records", len(output))
             for key, value in output:
                 shuffle_bytes += record_size(key, value)
             all_map_output.extend(output)
-
         counters.increment("shuffle.bytes", shuffle_bytes)
 
         if job.num_reducers == 0:
@@ -137,25 +208,13 @@ class LocalRuntime:
         for key, value in all_map_output:
             partitions[job.partition(key, job.num_reducers)].append((key, value))
 
-        reduce_task_seconds: list[float] = []
-        reducer_outputs: list[list[tuple]] = []
+        reduce_results = self._execute_reduce_tasks(job, partitions)
+        reduce_task_seconds = [seconds for _, seconds in reduce_results]
+        reducer_outputs = [output for output, _ in reduce_results]
         final_output: list[tuple] = []
-        for reducer_id, partition in enumerate(partitions):
-            def reduce_task(partition=partition):
-                ordered = sorted(
-                    partition,
-                    key=lambda record: job.sort_key(record[0]),
-                    reverse=job.sort_descending,
-                )
-                return list(job.reduce_partition(ordered))
-
-            output, seconds = self._run_attempts(
-                reduce_task, f"{job.name}/reduce-{reducer_id}"
-            )
-            reduce_task_seconds.append(seconds)
+        for partition, output in zip(partitions, reducer_outputs):
             counters.increment("reduce.input_records", len(partition))
             counters.increment("reduce.output_records", len(output))
-            reducer_outputs.append(output)
             final_output.extend(output)
 
         return JobResult(
@@ -168,12 +227,3 @@ class LocalRuntime:
             map_output_records=len(all_map_output),
             reducer_outputs=reducer_outputs,
         )
-
-
-def _hashable(key):
-    """Map a key to something usable as a dict key for combining."""
-    try:
-        hash(key)
-        return key
-    except TypeError:
-        return repr(key)
