@@ -66,4 +66,5 @@ __all__ = [
     "min_haar_space",
     "min_haar_space_restricted",
     "top_b_indices",
+    "traceback_subtree",
 ]

@@ -10,6 +10,7 @@ Appendix A (CON, Send-V, Send-Coef, H-WTopk).
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.exceptions import InvalidInputError
 from repro.wavelet.synopsis import WaveletSynopsis
@@ -18,7 +19,7 @@ from repro.wavelet.transform import haar_transform, normalized_significance
 __all__ = ["conventional_synopsis", "top_b_indices", "largest_coefficient"]
 
 
-def top_b_indices(coefficients, budget: int) -> list[int]:
+def top_b_indices(coefficients: ArrayLike, budget: int) -> list[int]:
     """Indices of the ``budget`` most significant coefficients.
 
     Ties break on the lower index, keeping every implementation of the
@@ -32,14 +33,14 @@ def top_b_indices(coefficients, budget: int) -> list[int]:
     return sorted(order[:budget])
 
 
-def conventional_synopsis(data, budget: int) -> WaveletSynopsis:
+def conventional_synopsis(data: ArrayLike, budget: int) -> WaveletSynopsis:
     """Centralized conventional synopsis: top-``budget`` by significance."""
     values = np.asarray(data, dtype=np.float64)
     coefficients = haar_transform(values)
     retained = {
         index: float(coefficients[index])
         for index in top_b_indices(coefficients, budget)
-        if coefficients[index] != 0.0
+        if coefficients[index] != 0.0  # lint: ignore[KC002]
     }
     return WaveletSynopsis(
         n=int(values.shape[0]),
@@ -48,7 +49,7 @@ def conventional_synopsis(data, budget: int) -> WaveletSynopsis:
     )
 
 
-def largest_coefficient(coefficients, rank: int) -> float:
+def largest_coefficient(coefficients: ArrayLike, rank: int) -> float:
     """Magnitude of the ``rank``-th largest coefficient (1-based).
 
     IndirectHaar's error lower bound is the ``(B+1)``-largest coefficient

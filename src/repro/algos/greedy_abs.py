@@ -77,6 +77,7 @@ from heapq import heapify, heappop, heappush, heappushpop
 from typing import NamedTuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.exceptions import InvalidInputError
 from repro.wavelet.synopsis import WaveletSynopsis
@@ -151,7 +152,12 @@ class GreedyAbsTree:
     max); ``sneg[m:]`` is valid at construction and never updated.
     """
 
-    def __init__(self, coefficients, initial_errors=None, include_average: bool = True):
+    def __init__(
+        self,
+        coefficients: ArrayLike,
+        initial_errors: ArrayLike | None = None,
+        include_average: bool = True,
+    ) -> None:
         coeffs = np.array(coefficients, dtype=np.float64, copy=True)
         if coeffs.ndim != 1 or not is_power_of_two(coeffs.shape[0]):
             raise InvalidInputError("coefficient array length must be a power of two")
@@ -644,14 +650,16 @@ class GreedyAbsTree:
 
 
 def greedy_abs_order(
-    coefficients, initial_errors=None, include_average: bool = True
+    coefficients: ArrayLike,
+    initial_errors: ArrayLike | None = None,
+    include_average: bool = True,
 ) -> GreedyRun:
     """Run the greedy engine to exhaustion over one (sub-)tree."""
     tree = GreedyAbsTree(coefficients, initial_errors, include_average)
     return tree.run_to_exhaustion()
 
 
-def greedy_abs(data, budget: int) -> WaveletSynopsis:
+def greedy_abs(data: ArrayLike, budget: int) -> WaveletSynopsis:
     """Centralized GreedyAbs: best max-abs synopsis within ``budget``.
 
     Computes the full decomposition, discards greedily until the tree is

@@ -59,6 +59,7 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush, heappushpop
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.algos.greedy_abs import GreedyRun, Removal
 from repro.exceptions import InvalidInputError
@@ -94,12 +95,12 @@ class GreedyRelTree:
 
     def __init__(
         self,
-        coefficients,
-        leaf_values,
+        coefficients: ArrayLike,
+        leaf_values: ArrayLike,
         sanity_bound: float = DEFAULT_SANITY_BOUND,
-        initial_errors=None,
+        initial_errors: ArrayLike | None = None,
         include_average: bool = True,
-    ):
+    ) -> None:
         coeffs = np.array(coefficients, dtype=np.float64, copy=True)
         leaves = np.asarray(leaf_values, dtype=np.float64)
         if coeffs.ndim != 1 or not is_power_of_two(coeffs.shape[0]):
@@ -240,7 +241,14 @@ class GreedyRelTree:
         np.add(err2[:, hh:], c_col, out=E[:, hh:])
         E /= den2
 
-    def _rebuild_vec(self, tq, tg, k: int, t_hi: int, t_lo: int) -> None:
+    def _rebuild_vec(
+        self,
+        tq: NDArray[np.float64],
+        tg: NDArray[np.float64],
+        k: int,
+        t_hi: int,
+        t_lo: int,
+    ) -> None:
         """Rebuild aggregate levels ``t_hi .. t_lo`` (depths below ``k``).
 
         Level ``t`` is the contiguous block ``[k << t, (k + 1) << t)``;
@@ -265,18 +273,22 @@ class GreedyRelTree:
                 np.maximum(tq[left], tq[right], out=tq[a:b])
                 np.maximum(tg[left], tg[right], out=tg[a:b])
 
-    def _rebuild_sc_int(self, vt, vtg, k: int, t_hi: int) -> None:
+    def _rebuild_sc_int(
+        self, vt: NDArray[np.float64], vtg: NDArray[np.float64], k: int, t_hi: int
+    ) -> None:
         """Scalar rebuild of the interior-children levels ``t_hi .. 0``."""
         for t in range(t_hi, -1, -1):
             for j in range(k << t, (k + 1) << t):
                 xl = vt[2 * j]
                 xr = vt[2 * j + 1]
-                vt[j] = xl if xl >= xr else xr
+                vt[j] = xl if xl >= xr else xr  # lint: ignore[KC003]
                 xl = vtg[2 * j]
                 xr = vtg[2 * j + 1]
-                vtg[j] = xl if xl >= xr else xr
+                vtg[j] = xl if xl >= xr else xr  # lint: ignore[KC003]
 
-    def _batch_push(self, tq, tg, a0: int, nb: int) -> None:
+    def _batch_push(
+        self, tq: NDArray[np.float64], tg: NDArray[np.float64], a0: int, nb: int
+    ) -> None:
         """Refresh MR for block roots ``[a0, a0 + nb)`` and rekey.
 
         The batched analogue of one ``heap.update`` per dirtied node:
@@ -692,10 +704,10 @@ class GreedyRelTree:
 
 
 def greedy_rel_order(
-    coefficients,
-    leaf_values,
+    coefficients: ArrayLike,
+    leaf_values: ArrayLike,
     sanity_bound: float = DEFAULT_SANITY_BOUND,
-    initial_errors=None,
+    initial_errors: ArrayLike | None = None,
     include_average: bool = True,
 ) -> GreedyRun:
     """Run the relative-error greedy engine to exhaustion."""
@@ -703,7 +715,9 @@ def greedy_rel_order(
     return tree.run_to_exhaustion()
 
 
-def greedy_rel(data, budget: int, sanity_bound: float = DEFAULT_SANITY_BOUND) -> WaveletSynopsis:
+def greedy_rel(
+    data: ArrayLike, budget: int, sanity_bound: float = DEFAULT_SANITY_BOUND
+) -> WaveletSynopsis:
     """Centralized GreedyRel: best max-rel synopsis within ``budget``."""
     if budget < 0:
         raise InvalidInputError("budget must be non-negative")

@@ -13,6 +13,7 @@ runs coefficient-by-coefficient).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from heapq import heapify
 
 __all__ = ["AddressableMinHeap"]
@@ -21,7 +22,7 @@ __all__ = ["AddressableMinHeap"]
 class AddressableMinHeap:
     """Min-heap over ``(priority, item_id)`` with in-place reprioritization."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._entries: list[tuple[float, int]] = []
         self._positions: dict[int, int] = {}
 
@@ -70,7 +71,7 @@ class AddressableMinHeap:
         else:
             self._sift_down(index)
 
-    def update_many(self, updates) -> None:
+    def update_many(self, updates: Iterable[tuple[int, float]]) -> None:
         """Batch reprioritization of ``(item_id, priority)`` pairs.
 
         Equivalent to calling :meth:`update` once per pair (KeyError if

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.algos.conventional import conventional_synopsis, largest_coefficient
 from repro.algos.minhaarspace import DualSolution, min_haar_space
@@ -102,7 +103,7 @@ def indirect_haar_search(
 
 
 def indirect_haar(
-    data,
+    data: ArrayLike,
     budget: int,
     delta: float,
     solver: Solver | None = None,
@@ -121,7 +122,7 @@ def indirect_haar(
 
     conventional = conventional_synopsis(values, budget)
     error_high = conventional.max_abs_error(values)
-    if error_high == 0.0:
+    if error_high == 0.0:  # lint: ignore[KC002]
         conventional.meta.update({"algorithm": "IndirectHaar", "dp_runs": 0})
         return conventional
     error_low = largest_coefficient(coefficients, budget + 1)

@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.exceptions import InfeasibleErrorBound, InvalidInputError
@@ -158,7 +159,7 @@ def leaf_row(value: float, epsilon: float, delta: float) -> MRow:
     return leaf_rows([value], epsilon, delta)[0]
 
 
-def leaf_rows(values, epsilon: float, delta: float) -> list[MRow]:
+def leaf_rows(values: ArrayLike, epsilon: float, delta: float) -> list[MRow]:
     """Rows of a whole batch of data leaves (one :func:`leaf_row` each).
 
     The grid bounds of all rows are computed in one vectorized pass and a
@@ -195,7 +196,13 @@ def leaf_rows(values, epsilon: float, delta: float) -> list[MRow]:
     return rows
 
 
-def _build_row(v_start: int, counts, errors, choices, infeasible_message: str) -> MRow:
+def _build_row(
+    v_start: int,
+    counts: NDArray[np.int64],
+    errors: NDArray[np.float64],
+    choices: NDArray[np.int64],
+    infeasible_message: str,
+) -> MRow:
     """Finish a combined row: canonicalize infeasible entries and trim.
 
     Entries whose error is non-finite carry no usable pairing; both the
@@ -270,7 +277,7 @@ def combine_rows_scalar(left: MRow, right: MRow, epsilon: float, delta: float) -
 
 def _combine_kernel_scalar(
     left: MRow, right: MRow, v_start: int, v_stop: int, epsilon: float, delta: float
-):
+) -> tuple[NDArray[np.int64], NDArray[np.float64], NDArray[np.int64]]:
     """One tiny-slice numpy pass per incoming value ``v``."""
     weight = _lexicographic_weight(epsilon, delta)
     width = v_stop - v_start + 1
@@ -310,7 +317,7 @@ def _combine_kernel_scalar(
 
 def _combine_kernel_windowed(
     left: MRow, right: MRow, v_start: int, v_stop: int, epsilon: float, delta: float
-):
+) -> tuple[NDArray[np.int64], NDArray[np.float64], NDArray[np.int64]]:
     """All incoming values in one batched 2-D reduction.
 
     Key observation: with the right row *reversed*, the candidate set of
@@ -386,7 +393,7 @@ def _combine_kernel_windowed(
         np.multiply(counts_block, weight, out=scores_block)
         np.add(scores_block, errors_block, out=scores_block)
         best = np.argmin(scores_block, axis=1)
-        picked = np.arange(rows)
+        picked = np.arange(rows, dtype=np.int64)
         counts[begin:end] = counts_block[picked, best]
         errors[begin:end] = errors_block[picked, best]
         choices[begin:end] = left.start + best
@@ -449,7 +456,7 @@ def combine_rows_restricted(
 
     scores = stacked_counts * weight + stacked_errors
     pick = np.argmin(scores, axis=0)
-    columns = np.arange(width)
+    columns = np.arange(width, dtype=np.int64)
     z_of = np.array([z for z, _ in candidates], dtype=np.int64)
     counts = stacked_counts[pick, columns]
     errors = stacked_errors[pick, columns]
@@ -483,7 +490,7 @@ def combine_rows_restricted_scalar(
         cand_errors = np.maximum(left.errors[lseg], right.errors[rseg])
         cand_scores = cand_counts * weight + cand_errors
         better = cand_scores < scores[span]
-        view = np.arange(lo, hi + 1)
+        view = np.arange(lo, hi + 1, dtype=np.int64)
         counts[span] = np.where(better, cand_counts, counts[span])
         errors[span] = np.where(better, cand_errors, errors[span])
         choices[span] = np.where(better, view + z, choices[span])
@@ -495,7 +502,7 @@ def combine_rows_restricted_scalar(
 
 
 def compute_subtree_rows_restricted(
-    leaf_rows: list[MRow], coefficients, epsilon: float, delta: float
+    leaf_rows: list[MRow], coefficients: ArrayLike, epsilon: float, delta: float
 ) -> list[MRow | None]:
     """Restricted-variant DP over one sub-tree.
 
@@ -614,7 +621,7 @@ def finalize_root_restricted(
     return best[1], best[2], best[3]
 
 
-def min_haar_space_restricted(data, epsilon: float, delta: float) -> DualSolution:
+def min_haar_space_restricted(data: ArrayLike, epsilon: float, delta: float) -> DualSolution:
     """Restricted MinHaarSpace: minimum-size synopsis with error <= epsilon,
     retaining only (grid-snapped) original Haar coefficient values.
 
@@ -658,7 +665,7 @@ def min_haar_space_restricted(data, epsilon: float, delta: float) -> DualSolutio
     return DualSolution(size=size, max_error=error, synopsis=synopsis, epsilon=epsilon)
 
 
-def min_haar_space(data, epsilon: float, delta: float) -> DualSolution:
+def min_haar_space(data: ArrayLike, epsilon: float, delta: float) -> DualSolution:
     """Centralized MinHaarSpace: minimum-size synopsis with error <= epsilon.
 
     Raises :class:`InfeasibleErrorBound` when the quantized search space

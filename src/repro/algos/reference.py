@@ -17,6 +17,7 @@ correct baseline.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.algos.greedy_abs import GreedyRun, Removal
 from repro.algos.heap import AddressableMinHeap
@@ -40,7 +41,12 @@ class ScalarGreedyAbsTree:
     identical removal sequences.
     """
 
-    def __init__(self, coefficients, initial_errors=None, include_average: bool = True):
+    def __init__(
+        self,
+        coefficients: ArrayLike,
+        initial_errors: ArrayLike | None = None,
+        include_average: bool = True,
+    ) -> None:
         coeffs = np.asarray(coefficients, dtype=np.float64)
         if coeffs.ndim != 1 or not is_power_of_two(coeffs.shape[0]):
             raise InvalidInputError("coefficient array length must be a power of two")
@@ -193,12 +199,12 @@ class ScalarGreedyRelTree:
 
     def __init__(
         self,
-        coefficients,
-        leaf_values,
+        coefficients: ArrayLike,
+        leaf_values: ArrayLike,
         sanity_bound: float = DEFAULT_SANITY_BOUND,
-        initial_errors=None,
+        initial_errors: ArrayLike | None = None,
         include_average: bool = True,
-    ):
+    ) -> None:
         coeffs = np.asarray(coefficients, dtype=np.float64)
         leaves = np.asarray(leaf_values, dtype=np.float64)
         if coeffs.ndim != 1 or not is_power_of_two(coeffs.shape[0]):
@@ -302,7 +308,9 @@ class ScalarGreedyRelTree:
 
 
 def scalar_greedy_abs_order(
-    coefficients, initial_errors=None, include_average: bool = True
+    coefficients: ArrayLike,
+    initial_errors: ArrayLike | None = None,
+    include_average: bool = True,
 ) -> GreedyRun:
     """Run the scalar reference abs engine to exhaustion."""
     tree = ScalarGreedyAbsTree(coefficients, initial_errors, include_average)
@@ -310,10 +318,10 @@ def scalar_greedy_abs_order(
 
 
 def scalar_greedy_rel_order(
-    coefficients,
-    leaf_values,
+    coefficients: ArrayLike,
+    leaf_values: ArrayLike,
     sanity_bound: float = DEFAULT_SANITY_BOUND,
-    initial_errors=None,
+    initial_errors: ArrayLike | None = None,
     include_average: bool = True,
 ) -> GreedyRun:
     """Run the scalar reference rel engine to exhaustion."""

@@ -1,0 +1,92 @@
+"""The repro invariant lint pack: AST rules for the repo's contracts.
+
+Four rule families encode the invariants the distributed algorithms rest
+on — the hazards that broke (or nearly broke) earlier PRs — plus the
+typing gate backing the CI's ``mypy --strict`` job:
+
+==========  ==============================================================
+PS001/002   process-safety: jobs must pickle and must not write driver
+            state from task methods (or declare ``process_safe = False``)
+DT001-003   determinism: no set-order emits, unseeded RNGs, or
+            ``id()``-keyed dicts
+KC001-003   kernel contracts (``algos/``, ``bench/``): explicit dtypes,
+            intentional float equality, no argument mutation
+AH001-003   API hygiene: mutable defaults, bare ``except``, ``__all__``
+            drift in package ``__init__`` files
+TG001       typing gate: every definition fully annotated
+==========  ==============================================================
+
+Run ``python -m repro.analysis src/`` (the CI lint gate), or call
+:func:`analyze_paths` programmatically.  Suppress one finding with a
+trailing ``# lint: ignore[RULE-ID]`` comment; ``docs/STATIC_ANALYSIS.md``
+documents every rule with the incident that motivated it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.api_hygiene import AllDrift, BareExcept, MutableDefaultArgument
+from repro.analysis.core import (
+    Finding,
+    ParsedModule,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    dotted_name,
+    iter_python_files,
+    parse_module,
+)
+from repro.analysis.determinism import (
+    IdKeyedMapping,
+    SetIterationIntoEmit,
+    UnseededRandomness,
+)
+from repro.analysis.kernel_contracts import (
+    FloatLiteralEquality,
+    MissingExplicitDtype,
+    MutatedArgument,
+)
+from repro.analysis.process_safety import JobNotModuleLevel, TaskMethodMutatesSelf
+from repro.analysis.typing_gate import UnannotatedDefinition
+
+__all__ = [
+    "AllDrift",
+    "BareExcept",
+    "Finding",
+    "FloatLiteralEquality",
+    "IdKeyedMapping",
+    "JobNotModuleLevel",
+    "MissingExplicitDtype",
+    "MutableDefaultArgument",
+    "MutatedArgument",
+    "ParsedModule",
+    "Rule",
+    "SetIterationIntoEmit",
+    "TaskMethodMutatesSelf",
+    "UnannotatedDefinition",
+    "UnseededRandomness",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "dotted_name",
+    "iter_python_files",
+    "parse_module",
+]
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every rule, in rule-id order."""
+    rules: list[Rule] = [
+        JobNotModuleLevel(),
+        TaskMethodMutatesSelf(),
+        SetIterationIntoEmit(),
+        UnseededRandomness(),
+        IdKeyedMapping(),
+        MissingExplicitDtype(),
+        FloatLiteralEquality(),
+        MutatedArgument(),
+        MutableDefaultArgument(),
+        BareExcept(),
+        AllDrift(),
+        UnannotatedDefinition(),
+    ]
+    return sorted(rules, key=lambda rule: rule.rule_id)

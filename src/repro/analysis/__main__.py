@@ -1,0 +1,58 @@
+"""``python -m repro.analysis [paths]`` — the CI lint gate.
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import all_rules, analyze_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro invariant lint pack (process-safety, determinism, "
+        "kernel contracts, API hygiene, typing gate)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print every rule and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    try:
+        findings = analyze_paths(args.paths, rules)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except SyntaxError as error:
+        print(f"error: cannot parse {error.filename}:{error.lineno}: {error.msg}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Shared machinery for the repro invariant lint pack.
+
+A *rule* inspects one parsed module and yields :class:`Finding` records.
+Rules are deliberately small AST visitors — no type inference, no import
+resolution — because every invariant they encode (process-safety,
+determinism, kernel dtype contracts, API hygiene, the typing gate) is
+visible in a single module's syntax.  The trade-off is documented per
+rule in ``docs/STATIC_ANALYSIS.md``: a rule may need an explicit
+suppression where the pattern is intentional.
+
+Suppression: append ``# lint: ignore[RULE-ID]`` (comma-separated for
+several rules, or no bracket to silence every rule) to the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar
+
+__all__ = [
+    "Finding",
+    "ParsedModule",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "dotted_name",
+    "iter_python_files",
+    "parse_module",
+]
+
+_SUPPRESSION = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_\-,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the CLI's output format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class ParsedModule:
+    """A parsed source file, handed to every rule."""
+
+    path: str
+    tree: ast.Module
+    lines: list[str]
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` located at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=rule, path=self.path, line=int(line), col=int(col) + 1, message=message)
+
+
+class Rule(ABC):
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id` and :attr:`summary` and implement
+    :meth:`check`.  :meth:`applies_to` lets path-scoped families (the
+    kernel contracts only watch ``algos/`` and ``bench/``) skip modules
+    wholesale.
+    """
+
+    rule_id: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+
+    def applies_to(self, path: Path) -> bool:
+        """Whether this rule runs on ``path`` at all."""
+        return True
+
+    @abstractmethod
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        """Yield every violation found in ``module``."""
+
+
+def parse_module(source: str, path: str) -> ParsedModule:
+    """Parse ``source`` into the structure rules consume."""
+    tree = ast.parse(source, filename=path)
+    return ParsedModule(path=path, tree=tree, lines=source.splitlines())
+
+
+def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    """True when the finding's line carries a matching suppression."""
+    if not 1 <= finding.line <= len(lines):
+        return False
+    match = _SUPPRESSION.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True
+    return finding.rule in {token.strip() for token in rules.split(",")}
+
+
+def analyze_source(source: str, path: str, rules: Sequence[Rule]) -> list[Finding]:
+    """Run ``rules`` over one source string; suppressions applied."""
+    module = parse_module(source, path)
+    location = Path(path)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(location):
+            continue
+        findings.extend(rule.check(module))
+    kept = [finding for finding in findings if not _suppressed(finding, module.lines)]
+    kept.sort(key=lambda finding: (finding.path, finding.line, finding.col, finding.rule))
+    return kept
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths``, in deterministic order."""
+    for path in paths:
+        location = Path(path)
+        if location.is_dir():
+            yield from sorted(location.rglob("*.py"))
+        elif location.suffix == ".py":
+            yield location
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {location}")
+
+
+def analyze_paths(paths: Iterable[str | Path], rules: Sequence[Rule]) -> list[Finding]:
+    """Run ``rules`` over every Python file under ``paths``."""
+    findings: list[Finding] = []
+    for location in iter_python_files(paths):
+        source = location.read_text(encoding="utf-8")
+        findings.extend(analyze_source(source, str(location), rules))
+    return findings
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything fancier."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))

@@ -1,0 +1,223 @@
+"""Determinism rules: sources of run-to-run drift in emitted records.
+
+The whole repo is built on bit-reproducibility — stable partitioners,
+smallest-index tie-breaks, seeded surrogates — so anything that lets
+iteration order or process identity leak into job output is a bug even
+when the *values* are right:
+
+* **DT001** — iterating a ``set`` while ``yield``-ing records: set order
+  is insertion-and-hash dependent, so the shuffle sees a different record
+  order per run (and per process, with randomized string hashing).  Wrap
+  the iterable in ``sorted(...)``.
+* **DT002** — unseeded randomness (``random.*`` module functions, legacy
+  ``np.random.*`` globals, ``np.random.default_rng()`` with no seed):
+  every generator in the repo threads an explicit seed.
+* **DT003** — ``id()``-keyed dict access: ``id`` values are process-local
+  addresses, so the mapping silently breaks across pickling boundaries
+  and makes logs unreproducible.  This is the DIndirectHaar probe-map
+  incident fixed in PR 3 (``DualSolution.epsilon`` replaced it).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.core import Finding, ParsedModule, Rule, dotted_name
+
+__all__ = ["IdKeyedMapping", "SetIterationIntoEmit", "UnseededRandomness"]
+
+#: ``random`` module functions that draw from the global (unseeded) state.
+_STDLIB_RANDOM = frozenset(
+    {"random", "randint", "randrange", "uniform", "gauss", "normalvariate",
+     "betavariate", "expovariate", "choice", "choices", "sample", "shuffle"}
+)
+
+#: Legacy ``np.random.*`` globals (the pre-Generator API with hidden state).
+_NUMPY_LEGACY = frozenset(
+    {"rand", "randn", "random", "random_sample", "randint", "choice",
+     "shuffle", "permutation", "uniform", "normal", "standard_normal"}
+)
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """Syntactically set-typed: literals, comprehensions, set()/frozenset()."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BoolOp):
+        return any(_is_set_expression(value) for value in node.values)
+    if isinstance(node, ast.IfExp):
+        return _is_set_expression(node.body) or _is_set_expression(node.orelse)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+def _contains_yield(body: list[ast.stmt]) -> bool:
+    """Whether the statements yield records (not counting nested defs)."""
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+    return False
+
+
+class SetIterationIntoEmit(Rule):
+    """DT001: for-loops over sets whose bodies yield records."""
+
+    rule_id: ClassVar[str] = "DT001"
+    summary: ClassVar[str] = (
+        "iterating a set while yielding records emits in hash order; "
+        "wrap the iterable in sorted(...)"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node, set_attributes=frozenset())
+
+    def _check_class(self, module: ParsedModule, node: ast.ClassDef) -> Iterator[Finding]:
+        set_attributes: set[str] = set()
+        for method in node.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            for statement in ast.walk(method):
+                if isinstance(statement, ast.Assign) and _is_set_expression(statement.value):
+                    for target in statement.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            set_attributes.add(target.attr)
+        for method in node.body:
+            if isinstance(method, ast.FunctionDef):
+                yield from self._check_function(module, method, frozenset(set_attributes))
+
+    def _check_function(
+        self,
+        module: ParsedModule,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        set_attributes: frozenset[str],
+    ) -> Iterator[Finding]:
+        set_locals: set[str] = set()
+        for statement in ast.walk(function):
+            if isinstance(statement, ast.Assign) and _is_set_expression(statement.value):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        set_locals.add(target.id)
+        for statement in ast.walk(function):
+            if not isinstance(statement, ast.For):
+                continue
+            if not self._is_set_iterable(statement.iter, set_locals, set_attributes):
+                continue
+            if _contains_yield(statement.body):
+                yield module.finding(
+                    self.rule_id,
+                    statement,
+                    "loop iterates a set while yielding records — the emit order "
+                    "is hash-dependent; wrap the iterable in sorted(...)",
+                )
+
+    @staticmethod
+    def _is_set_iterable(
+        node: ast.expr, set_locals: set[str], set_attributes: frozenset[str]
+    ) -> bool:
+        if _is_set_expression(node):
+            return True
+        if isinstance(node, ast.Name) and node.id in set_locals:
+            return True
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in set_attributes
+        ):
+            return True
+        return False
+
+
+class UnseededRandomness(Rule):
+    """DT002: unseeded global RNGs in reproducible code paths."""
+
+    rule_id: ClassVar[str] = "DT002"
+    summary: ClassVar[str] = (
+        "unseeded randomness (random.*, legacy np.random.*, bare default_rng()) "
+        "breaks run-to-run reproducibility; thread an explicit seed"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            if len(parts) == 2 and parts[0] == "random" and parts[1] in _STDLIB_RANDOM:
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    f"{chain}() draws from the global stdlib RNG; "
+                    "use a seeded random.Random or np.random.default_rng(seed)",
+                )
+            elif len(parts) >= 3 and parts[-2] == "random" and parts[-1] in _NUMPY_LEGACY:
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    f"{chain}() uses numpy's legacy global RNG; "
+                    "use np.random.default_rng(seed)",
+                )
+            elif parts[-1] == "default_rng" and not node.args and not node.keywords:
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    "default_rng() without a seed is entropy-seeded; pass an explicit seed",
+                )
+
+
+def _is_id_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+class IdKeyedMapping(Rule):
+    """DT003: dicts keyed by ``id()`` values."""
+
+    rule_id: ClassVar[str] = "DT003"
+    summary: ClassVar[str] = (
+        "id()-keyed dicts break across process boundaries and make runs "
+        "unreproducible; key on a stable field instead"
+    )
+
+    _MESSAGE = (
+        "dict keyed by id(...): identities are process-local addresses, so the "
+        "mapping breaks across pickling boundaries; key on a stable field instead"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Subscript) and _is_id_call(node.slice):
+                yield module.finding(self.rule_id, node, self._MESSAGE)
+            elif isinstance(node, ast.Dict) and any(
+                key is not None and _is_id_call(key) for key in node.keys
+            ):
+                yield module.finding(self.rule_id, node, self._MESSAGE)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in {"get", "setdefault", "pop"}
+                and node.args
+                and _is_id_call(node.args[0])
+            ):
+                yield module.finding(self.rule_id, node, self._MESSAGE)

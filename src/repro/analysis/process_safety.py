@@ -1,0 +1,167 @@
+"""Process-safety rules: what breaks a job under ProcessPoolRuntime.
+
+The process pool ships jobs to workers by pickling, and the workers'
+mutations never reach the driver.  Two syntactic hazards cover the
+incidents that motivated this family (see ``docs/STATIC_ANALYSIS.md``):
+
+* **PS001** — a ``MapReduceJob`` subclass defined inside a function: the
+  class cannot be pickled (pickle imports classes by qualified name), so
+  the job silently falls over the moment a process runtime touches it.
+  This is the ``_AverageJob`` closure bug of PR 3.
+* **PS002** — a task-side method (``map``/``combine``/``reduce``/
+  ``reduce_partition``) writing ``self.*`` state: in a worker process the
+  write mutates a pickled copy and the driver never sees it.  The layered
+  DP jobs do exactly this by design — and declare ``process_safe = False``,
+  which silences both rules and routes them to in-process execution.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.core import Finding, ParsedModule, Rule
+
+__all__ = ["JobNotModuleLevel", "TaskMethodMutatesSelf", "is_job_class", "opts_out"]
+
+#: Methods the runtimes may execute in a worker process.
+TASK_METHODS = ("map", "combine", "reduce", "reduce_partition")
+
+#: Mutating container methods; ``self.x.append(...)`` is as lost in a
+#: worker as ``self.x = ...``.
+_MUTATORS = frozenset(
+    {"append", "extend", "add", "update", "insert", "remove", "discard",
+     "clear", "pop", "popitem", "setdefault", "sort"}
+)
+
+
+def _base_name(base: ast.expr) -> str | None:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def is_job_class(node: ast.ClassDef) -> bool:
+    """Heuristic: the class subclasses ``MapReduceJob`` (or a ``*Job``)."""
+    for base in node.bases:
+        name = _base_name(base)
+        if name is not None and (name == "MapReduceJob" or name.endswith("Job")):
+            return True
+    return False
+
+
+def opts_out(node: ast.ClassDef) -> bool:
+    """True when the class body declares ``process_safe = False``."""
+    for statement in node.body:
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign):
+            if any(
+                isinstance(target, ast.Name) and target.id == "process_safe"
+                for target in statement.targets
+            ):
+                value = statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name) and statement.target.id == "process_safe":
+                value = statement.value
+        if isinstance(value, ast.Constant) and value.value is False:
+            return True
+    return False
+
+
+class JobNotModuleLevel(Rule):
+    """PS001: job classes must be module-level (picklable)."""
+
+    rule_id: ClassVar[str] = "PS001"
+    summary: ClassVar[str] = (
+        "MapReduceJob subclass defined inside a function cannot pickle for "
+        "ProcessPoolRuntime; move it to module level or declare process_safe = False"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        yield from self._walk(module, module.tree, inside_function=False)
+
+    def _walk(
+        self, module: ParsedModule, node: ast.AST, inside_function: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if inside_function and is_job_class(child) and not opts_out(child):
+                    yield module.finding(
+                        self.rule_id,
+                        child,
+                        f"job class {child.name!r} is defined inside a function; "
+                        "it will not pickle for ProcessPoolRuntime (move it to module "
+                        "level or declare process_safe = False)",
+                    )
+                yield from self._walk(module, child, inside_function)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                yield from self._walk(module, child, inside_function=True)
+            else:
+                yield from self._walk(module, child, inside_function)
+
+
+def _self_attribute(node: ast.expr) -> str | None:
+    """``self.x`` -> ``"x"``; anything else -> None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class TaskMethodMutatesSelf(Rule):
+    """PS002: task-side methods must not write driver-side ``self`` state."""
+
+    rule_id: ClassVar[str] = "PS002"
+    summary: ClassVar[str] = (
+        "map/combine/reduce/reduce_partition mutates self.* — the write is lost "
+        "in a worker process; use local state or declare process_safe = False"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not is_job_class(node):
+                continue
+            if opts_out(node):
+                continue
+            for method in node.body:
+                if isinstance(method, ast.FunctionDef) and method.name in TASK_METHODS:
+                    yield from self._check_method(module, node.name, method)
+
+    def _check_method(
+        self, module: ParsedModule, class_name: str, method: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            attr: str | None = None
+            verb = "assigns"
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    attr = attr or self._store_target(target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                attr = self._store_target(node.target)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATORS:
+                    attr = _self_attribute(node.func.value)
+                    verb = f"calls .{node.func.attr}() on"
+            if attr is not None:
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    f"{class_name}.{method.name} {verb} self.{attr}; the mutation is "
+                    "lost under ProcessPoolRuntime (use local state or declare "
+                    "process_safe = False)",
+                )
+
+    @staticmethod
+    def _store_target(target: ast.expr) -> str | None:
+        attr = _self_attribute(target)
+        if attr is not None:
+            return attr
+        if isinstance(target, ast.Subscript):
+            return _self_attribute(target.value)
+        return None

@@ -1,0 +1,69 @@
+"""The typing gate: every definition fully annotated.
+
+**TG001** is the locally runnable proxy for the CI's ``mypy --strict``
+job: it requires every function definition in the package to annotate
+every parameter (``self``/``cls`` excepted) and its return type.  mypy
+checks much more, but "no unannotated defs" is the part that demands the
+sweep — once it holds, strict mode has real signatures to check instead
+of silently treating whole call graphs as ``Any``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.core import Finding, ParsedModule, Rule
+
+__all__ = ["UnannotatedDefinition"]
+
+
+class UnannotatedDefinition(Rule):
+    """TG001: parameters and returns must carry annotations."""
+
+    rule_id: ClassVar[str] = "TG001"
+    summary: ClassVar[str] = (
+        "function definition missing parameter or return annotations; the "
+        "package is strictly typed (mypy --strict in CI)"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ParsedModule, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        arguments = function.args
+        positional = [*arguments.posonlyargs, *arguments.args]
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in {"self", "cls"}:
+                continue
+            if arg.annotation is None:
+                yield module.finding(
+                    self.rule_id,
+                    arg,
+                    f"parameter {arg.arg!r} of {function.name!r} is unannotated",
+                )
+        for arg in arguments.kwonlyargs:
+            if arg.annotation is None:
+                yield module.finding(
+                    self.rule_id,
+                    arg,
+                    f"parameter {arg.arg!r} of {function.name!r} is unannotated",
+                )
+        for variadic in (arguments.vararg, arguments.kwarg):
+            if variadic is not None and variadic.annotation is None:
+                yield module.finding(
+                    self.rule_id,
+                    variadic,
+                    f"parameter {variadic.arg!r} of {function.name!r} is unannotated",
+                )
+        if function.returns is None:
+            yield module.finding(
+                self.rule_id,
+                function,
+                f"function {function.name!r} has no return annotation",
+            )

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.thresholding import build_synopsis
 from repro.exceptions import InvalidInputError, ReproError
@@ -25,7 +26,7 @@ __all__ = ["SynopsisStore"]
 class SynopsisStore:
     """A named collection of wavelet synopses with query helpers."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._synopses: dict[str, WaveletSynopsis] = {}
         self._lengths: dict[str, int] = {}
 
@@ -42,7 +43,7 @@ class SynopsisStore:
     def add(
         self,
         name: str,
-        data,
+        data: ArrayLike,
         budget: int,
         algorithm: str = "dgreedy-abs",
         **build_kwargs: Any,
@@ -139,7 +140,7 @@ class SynopsisStore:
             )
         return rows
 
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Serialize the whole store to a JSON file."""
         payload = {
             name: {
@@ -151,7 +152,7 @@ class SynopsisStore:
         Path(path).write_text(json.dumps(payload))
 
     @classmethod
-    def load(cls, path) -> "SynopsisStore":
+    def load(cls, path: str | Path) -> "SynopsisStore":
         """Inverse of :meth:`save`."""
         store = cls()
         payload = json.loads(Path(path).read_text())

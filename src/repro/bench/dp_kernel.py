@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -59,7 +60,7 @@ def combine_inputs(width: int, seed: int = 7) -> tuple[MRow, MRow, float]:
 
 
 def bench_combine_widths(
-    widths=None, reps: int = 3, seed: int = 7, delta: float = 1.0
+    widths: Sequence[int] | None = None, reps: int = 3, seed: int = 7, delta: float = 1.0
 ) -> list[dict]:
     """Benchmark the combine kernels; returns one row dict per width."""
     if widths is None:

@@ -49,7 +49,7 @@ class BenchSettings:
     def memory_model(self) -> MemoryModel:
         return MemoryModel(self.centralized_memory_points * GREEDY_BYTES_PER_POINT)
 
-    def cluster(self, **overrides) -> SimulatedCluster:
+    def cluster(self, **overrides: Any) -> SimulatedCluster:
         config = self.cluster_config.scaled(**overrides) if overrides else self.cluster_config
         return SimulatedCluster(config)
 

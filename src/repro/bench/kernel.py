@@ -16,6 +16,7 @@ the machine-level noise that plagues back-to-back wall-clock runs.
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from typing import Callable
 
 import numpy as np
@@ -54,7 +55,7 @@ def _time_run(make_tree: Callable[[], object]) -> float:
 
 def bench_kernel_metric(
     metric: str,
-    log_sizes=None,
+    log_sizes: Sequence[int] | None = None,
     reps: int = 3,
     ref_max_log: int | None = None,
     seed: int = 7,

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 __all__ = ["format_table", "print_table", "format_value"]
 
 
-def format_value(value) -> str:
+def format_value(value: Any) -> str:
     """Render one cell: compact floats, pass-through strings."""
     if isinstance(value, float):
         if value != value:  # NaN

@@ -29,8 +29,11 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.exceptions import InvalidInputError
 from repro.mapreduce.cluster import SimulatedCluster
@@ -61,7 +64,9 @@ def _select_top_b(values: dict[int, float], budget: int) -> dict[int, float]:
     return {index: value for index, value in ranked if value != 0.0}
 
 
-def _prepare(data, budget: int, split_size: int) -> tuple[np.ndarray, int]:
+def _prepare(
+    data: ArrayLike, budget: int, split_size: int
+) -> tuple[NDArray[np.float64], int]:
     values = np.asarray(data, dtype=np.float64)
     if values.ndim != 1 or not is_power_of_two(values.shape[0]):
         raise InvalidInputError("data length must be a power of two")
@@ -81,19 +86,19 @@ class _ConJob(MapReduceJob):
     name = "con"
     num_reducers = 1
 
-    def __init__(self, n: int, budget: int, split_size: int):
+    def __init__(self, n: int, budget: int, split_size: int) -> None:
         self.n = n
         self.budget = budget
         self.split_size = split_size
 
-    def map(self, split: InputSplit):
+    def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:
         local = haar_transform(split.values)
         subtree_root = (self.n // self.split_size) + split.split_id
         for local_node in range(1, len(local)):
             yield "coef", (local_to_global(subtree_root, local_node), float(local[local_node]))
         yield "avg", (split.split_id, float(local[0]))
 
-    def reduce_partition(self, records):
+    def reduce_partition(self, records: list[tuple[Any, Any]]) -> Iterator[tuple[Any, Any]]:
         coefficients: dict[int, float] = {}
         averages: dict[int, float] = {}
         for key, payload in records:
@@ -110,7 +115,7 @@ class _ConJob(MapReduceJob):
 
 
 def con_synopsis(
-    data, budget: int, cluster: SimulatedCluster | None = None, split_size: int = 1024
+    data: ArrayLike, budget: int, cluster: SimulatedCluster | None = None, split_size: int = 1024
 ) -> WaveletSynopsis:
     """CON: conventional synopsis with locality-preserving partitioning."""
     values, split_size = _prepare(data, budget, split_size)
@@ -134,15 +139,15 @@ class _SendVJob(MapReduceJob):
     name = "send-v"
     num_reducers = 1
 
-    def __init__(self, n: int, budget: int):
+    def __init__(self, n: int, budget: int) -> None:
         self.n = n
         self.budget = budget
 
-    def map(self, split: InputSplit):
+    def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:
         for i, value in enumerate(split.values):
             yield split.offset + i, float(value)
 
-    def reduce_partition(self, records):
+    def reduce_partition(self, records: list[tuple[Any, Any]]) -> Iterator[tuple[Any, Any]]:
         data = np.empty(self.n, dtype=np.float64)
         for index, value in records:
             data[index] = value
@@ -152,7 +157,7 @@ class _SendVJob(MapReduceJob):
 
 
 def send_v_synopsis(
-    data, budget: int, cluster: SimulatedCluster | None = None, split_size: int = 1024
+    data: ArrayLike, budget: int, cluster: SimulatedCluster | None = None, split_size: int = 1024
 ) -> WaveletSynopsis:
     """Send-V: ship raw values; the reducer transforms sequentially."""
     values, split_size = _prepare(data, budget, split_size)
@@ -172,7 +177,7 @@ def send_v_synopsis(
 # ---------------------------------------------------------------------------
 
 
-def _block_contributions(split: InputSplit, n: int):
+def _block_contributions(split: InputSplit, n: int) -> Iterator[tuple[int, float]]:
     """Yield Send-Coef emissions for one HDFS block.
 
     Complete coefficients (support inside the block) are emitted once;
@@ -224,14 +229,14 @@ class _SendCoefJob(MapReduceJob):
     name = "send-coef"
     num_reducers = 1
 
-    def __init__(self, n: int, budget: int):
+    def __init__(self, n: int, budget: int) -> None:
         self.n = n
         self.budget = budget
 
-    def map(self, split: InputSplit):
+    def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:
         yield from _block_contributions(split, self.n)
 
-    def reduce_partition(self, records):
+    def reduce_partition(self, records: list[tuple[Any, Any]]) -> Iterator[tuple[Any, Any]]:
         totals: dict[int, float] = {}
         for index, value in records:
             totals[index] = totals.get(index, 0.0) + value
@@ -241,7 +246,7 @@ class _SendCoefJob(MapReduceJob):
 
 
 def send_coef_synopsis(
-    data, budget: int, cluster: SimulatedCluster | None = None, block_size: int = 1500
+    data: ArrayLike, budget: int, cluster: SimulatedCluster | None = None, block_size: int = 1500
 ) -> WaveletSynopsis:
     """Send-Coef: per-datapoint path contributions over unaligned blocks."""
     values = np.asarray(data, dtype=np.float64)
@@ -286,7 +291,14 @@ class _HWTopkRound(MapReduceJob):
 
     num_reducers = 1
 
-    def __init__(self, n: int, k: int, mode: str, threshold: float = 0.0, candidates=None):
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        mode: str,
+        threshold: float = 0.0,
+        candidates: set[int] | None = None,
+    ) -> None:
         self.n = n
         self.k = k
         self.mode = mode
@@ -294,7 +306,7 @@ class _HWTopkRound(MapReduceJob):
         self.candidates = candidates or set()
         self.name = f"h-wtopk-round-{mode}"
 
-    def map(self, split: InputSplit):
+    def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:
         local = _local_partial_values(split, self.n)
         mapper_id = split.split_id
         if self.mode == "extremes":
@@ -311,21 +323,23 @@ class _HWTopkRound(MapReduceJob):
                 if abs(value) > self.threshold:
                     yield "value", (mapper_id, node, value)
         else:  # mode == "candidates"
-            for node in self.candidates:
+            # Sorted: iterating the set directly would emit records in
+            # hash order, making the round's map output run-dependent.
+            for node in sorted(self.candidates):
                 yield "value", (mapper_id, node, local.get(node, 0.0))
 
-    def reduce(self, key, values):
+    def reduce(self, key: Any, values: list[Any]) -> Iterator[tuple[Any, Any]]:
         yield key, list(values)
 
 
 def _tau_bounds(
     seen: dict[int, dict[int, float]],
     mapper_count: int,
-    high_default,
-    low_default,
+    high_default: Callable[[int], float],
+    low_default: Callable[[int], float],
 ) -> dict[int, tuple[float, float]]:
     """Per-coefficient total-value bounds (tau+, tau-) from partial sums."""
-    bounds = {}
+    bounds: dict[int, tuple[float, float]] = {}
     for node, per_mapper in seen.items():
         tau_plus = 0.0
         tau_minus = 0.0
@@ -346,7 +360,7 @@ def _tau_magnitude(tau_plus: float, tau_minus: float) -> float:
     return min(abs(tau_plus), abs(tau_minus))
 
 
-def _kth_largest(values, k: int) -> float:
+def _kth_largest(values: Iterable[float], k: int) -> float:
     ordered = sorted(values, reverse=True)
     if not ordered:
         return 0.0
@@ -354,7 +368,7 @@ def _kth_largest(values, k: int) -> float:
 
 
 def h_wtopk_synopsis(
-    data, budget: int, cluster: SimulatedCluster | None = None, block_size: int = 1500
+    data: ArrayLike, budget: int, cluster: SimulatedCluster | None = None, block_size: int = 1500
 ) -> WaveletSynopsis:
     """H-WTopk: three-round TPUT-style top-``B`` (Appendix A.4)."""
     values = np.asarray(data, dtype=np.float64)
@@ -369,8 +383,8 @@ def h_wtopk_synopsis(
 
     # Round 1: local extremes -> threshold T1.
     round1 = cluster.run_job(_HWTopkRound(n, budget, "extremes"), splits)
-    kth_high = {}
-    kth_low = {}
+    kth_high: dict[int, float] = {}
+    kth_low: dict[int, float] = {}
     seen: dict[int, dict[int, float]] = {}
     peak_records = 0
     for key, payloads in round1.output:
@@ -384,7 +398,7 @@ def h_wtopk_synopsis(
                 mapper_id, node, value = payload
                 seen.setdefault(node, {})[mapper_id] = value
 
-    bounds = _tau_bounds(seen, mapper_count, kth_high.get, kth_low.get)
+    bounds = _tau_bounds(seen, mapper_count, kth_high.__getitem__, kth_low.__getitem__)
     t1 = _kth_largest(
         (_tau_magnitude(tp, tm) for tp, tm in bounds.values()), budget
     )

@@ -36,9 +36,12 @@ Setting ``metric="max_rel"`` swaps the GreedyRel engine in at both levels
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.algos.greedy_abs import GreedyAbsTree, GreedyRun
 from repro.algos.greedy_rel import GreedyRelTree
@@ -63,21 +66,25 @@ class _GreedyEngine:
 
     metric = "max_abs"
 
-    def root_run(self, root_coefficients, virtual_leaves) -> GreedyRun:
+    def root_run(self, root_coefficients: ArrayLike, virtual_leaves: ArrayLike) -> GreedyRun:
         raise NotImplementedError
 
-    def base_run(self, local_coefficients, leaf_values, incoming_error: float) -> GreedyRun:
+    def base_run(
+        self, local_coefficients: ArrayLike, leaf_values: ArrayLike, incoming_error: float
+    ) -> GreedyRun:
         raise NotImplementedError
 
 
 class _AbsEngine(_GreedyEngine):
     metric = "max_abs"
 
-    def root_run(self, root_coefficients, virtual_leaves) -> GreedyRun:
+    def root_run(self, root_coefficients: ArrayLike, virtual_leaves: ArrayLike) -> GreedyRun:
         return GreedyAbsTree(root_coefficients, include_average=True).run_to_exhaustion()
 
-    def base_run(self, local_coefficients, leaf_values, incoming_error: float) -> GreedyRun:
-        size = len(local_coefficients)
+    def base_run(
+        self, local_coefficients: ArrayLike, leaf_values: ArrayLike, incoming_error: float
+    ) -> GreedyRun:
+        size = len(local_coefficients)  # type: ignore[arg-type]
         return GreedyAbsTree(
             local_coefficients,
             initial_errors=[incoming_error] * size,
@@ -88,12 +95,12 @@ class _AbsEngine(_GreedyEngine):
 class _RelEngine(_GreedyEngine):
     metric = "max_rel"
 
-    def __init__(self, sanity_bound: float = DEFAULT_SANITY_BOUND):
+    def __init__(self, sanity_bound: float = DEFAULT_SANITY_BOUND) -> None:
         if sanity_bound <= 0:
             raise InvalidInputError("the sanity bound S must be strictly positive")
         self.sanity_bound = sanity_bound
 
-    def root_run(self, root_coefficients, virtual_leaves) -> GreedyRun:
+    def root_run(self, root_coefficients: ArrayLike, virtual_leaves: ArrayLike) -> GreedyRun:
         # Virtual-leaf denominators approximate each base sub-tree's data
         # by its average (exact when the sub-tree is near-constant).
         return GreedyRelTree(
@@ -103,8 +110,10 @@ class _RelEngine(_GreedyEngine):
             include_average=True,
         ).run_to_exhaustion()
 
-    def base_run(self, local_coefficients, leaf_values, incoming_error: float) -> GreedyRun:
-        size = len(local_coefficients)
+    def base_run(
+        self, local_coefficients: ArrayLike, leaf_values: ArrayLike, incoming_error: float
+    ) -> GreedyRun:
+        size = len(local_coefficients)  # type: ignore[arg-type]
         return GreedyRelTree(
             local_coefficients,
             leaf_values,
@@ -222,14 +231,14 @@ class _HistogramJob(MapReduceJob):
         budget: int,
         bucket_width: float,
         num_reducers: int,
-    ):
+    ) -> None:
         self.engine = engine
         self.candidates = candidates
         self.budget = budget
         self.bucket_width = bucket_width
         self.num_reducers = num_reducers
 
-    def map(self, split: InputSplit):
+    def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:
         subtree_index = split.split_id
         local = haar_transform(split.values)
         local_coefficients = local.copy()
@@ -251,11 +260,11 @@ class _HistogramJob(MapReduceJob):
                     yield ("hist", candidate_id, subtree_index, bucket_error), (count, cut_error)
                 yield ("final", candidate_id, subtree_index), final_error
 
-    def partition(self, key, num_reducers: int) -> int:
+    def partition(self, key: Any, num_reducers: int) -> int:
         # All key-values of one candidate go to the same level-2 worker.
         return key[1] % num_reducers
 
-    def reduce_partition(self, records):
+    def reduce_partition(self, records: list[tuple[Any, Any]]) -> Iterator[tuple[Any, Any]]:
         """combineResults (Algorithm 5), generalized to all cut thresholds.
 
         For every candidate the sweep walks the merged bucket thresholds
@@ -344,14 +353,14 @@ class _ConstructJob(MapReduceJob):
         threshold: float,
         bucket_width: float,
         n: int,
-    ):
+    ) -> None:
         self.engine = engine
         self.winner = winner
         self.threshold = threshold
         self.bucket_width = bucket_width
         self.n = n
 
-    def map(self, split: InputSplit):
+    def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:
         if math.isinf(self.threshold):
             return  # the winning cut retains no base nodes at all
         subtree_index = split.split_id
@@ -369,7 +378,7 @@ class _ConstructJob(MapReduceJob):
                 global_node = local_to_global(subtree_root, removal.node)
                 yield global_node, removal.value
 
-    def reduce_partition(self, records):
+    def reduce_partition(self, records: list[tuple[Any, Any]]) -> Iterator[tuple[Any, Any]]:
         yield from records
 
 
@@ -382,13 +391,13 @@ class _AverageJob(MapReduceJob):
     name = "dgreedy-averages"
     num_reducers = 0
 
-    def map(self, split: InputSplit):
+    def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:
         yield split.split_id, float(np.mean(split.values))
 
 
 def _distributed_greedy(
     engine: _GreedyEngine,
-    data,
+    data: ArrayLike,
     budget: int,
     cluster: SimulatedCluster | None,
     base_leaves: int,
@@ -468,7 +477,7 @@ def _distributed_greedy(
 
 
 def d_greedy_abs(
-    data,
+    data: ArrayLike,
     budget: int,
     cluster: SimulatedCluster | None = None,
     base_leaves: int = 1024,
@@ -487,7 +496,7 @@ def d_greedy_abs(
 
 
 def d_greedy_rel(
-    data,
+    data: ArrayLike,
     budget: int,
     sanity_bound: float = DEFAULT_SANITY_BOUND,
     cluster: SimulatedCluster | None = None,

@@ -16,11 +16,15 @@ two extra bound jobs the paper describes (Section 4):
 from __future__ import annotations
 
 import heapq
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.algos.indirect_haar import indirect_haar_search
 from repro.core.conventional_dist import con_synopsis
+from repro.algos.minhaarspace import DualSolution
 from repro.core.dp_framework import dm_haar_space
 from repro.exceptions import InvalidInputError
 from repro.mapreduce.cluster import SimulatedCluster
@@ -32,7 +36,11 @@ from repro.wavelet.transform import haar_transform, inverse_haar_transform, is_p
 __all__ = ["incoming_value", "global_to_local", "d_indirect_haar"]
 
 
-def incoming_value(coefficients, subtree_root: int, n: int) -> float:
+def incoming_value(
+    coefficients: Mapping[int, float] | NDArray[np.float64],
+    subtree_root: int,
+    n: int,
+) -> float:
     """Reconstructed value arriving at ``subtree_root`` from its ancestors.
 
     Sums the retained coefficients on the path strictly above the
@@ -73,12 +81,12 @@ class _LowerBoundJob(MapReduceJob):
     name = "dindirect-lower-bound"
     num_reducers = 1
 
-    def __init__(self, n: int, budget: int, split_size: int):
+    def __init__(self, n: int, budget: int, split_size: int) -> None:
         self.n = n
         self.budget = budget
         self.split_size = split_size
 
-    def map(self, split: InputSplit):
+    def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:
         local = haar_transform(split.values)
         magnitudes = np.abs(local[1:])
         top = np.sort(magnitudes)[::-1][: self.budget + 1]
@@ -86,9 +94,9 @@ class _LowerBoundJob(MapReduceJob):
             yield "mag", float(value)
         yield "avg", (split.split_id, float(local[0]))
 
-    def reduce_partition(self, records):
-        magnitudes = []
-        averages = {}
+    def reduce_partition(self, records: list[tuple[Any, Any]]) -> Iterator[tuple[Any, Any]]:
+        magnitudes: list[float] = []
+        averages: dict[int, float] = {}
         for key, payload in records:
             if key == "mag":
                 magnitudes.append(payload)
@@ -107,12 +115,12 @@ class _EvaluateSynopsisJob(MapReduceJob):
     name = "dindirect-upper-bound"
     num_reducers = 1
 
-    def __init__(self, n: int, retained: dict[int, float], split_size: int):
+    def __init__(self, n: int, retained: dict[int, float], split_size: int) -> None:
         self.n = n
         self.retained = retained
         self.split_size = split_size
 
-    def map(self, split: InputSplit):
+    def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:
         size = len(split)
         subtree_root = self.n // size + split.split_id
         local = np.zeros(size, dtype=np.float64)
@@ -124,12 +132,12 @@ class _EvaluateSynopsisJob(MapReduceJob):
         approximation = inverse_haar_transform(local)
         yield "err", float(np.max(np.abs(approximation - split.values)))
 
-    def reduce(self, key, values):
+    def reduce(self, key: Any, values: list[Any]) -> Iterator[tuple[Any, Any]]:
         yield key, max(values)
 
 
 def d_indirect_haar(
-    data,
+    data: ArrayLike,
     budget: int,
     delta: float,
     cluster: SimulatedCluster | None = None,
@@ -183,7 +191,7 @@ def d_indirect_haar(
     # Probes skip the top-down pass; only the winning bound is constructed.
     # Each probe's solution carries its epsilon (DualSolution.epsilon), so
     # re-running the winner needs no external solution-to-epsilon map.
-    def solver(epsilon: float):
+    def solver(epsilon: float) -> DualSolution:
         return dm_haar_space(
             values,
             epsilon,

@@ -24,9 +24,12 @@ communication per layer is exactly Eq. 5 — ``|Layer_i|`` rows of
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.algos.minhaarspace import (
     DualSolution,
@@ -62,11 +65,13 @@ class RowDP:
         """Row of a raw data value."""
         raise NotImplementedError
 
-    def leaf_rows(self, values) -> list[MRow]:
+    def leaf_rows(self, values: ArrayLike) -> list[MRow]:
         """Rows of a batch of raw data values (override to vectorize)."""
         return [self.leaf_row(float(value)) for value in values]
 
-    def subtree_rows(self, leaf_rows: list[MRow], leaf_values=None) -> list[MRow | None]:
+    def subtree_rows(
+        self, leaf_rows: list[MRow], leaf_values: ArrayLike | None = None
+    ) -> list[MRow | None]:
         """Run the DP bottom-up over one sub-tree; return all its rows."""
         raise NotImplementedError
 
@@ -82,7 +87,7 @@ class RowDP:
 class MinHaarSpaceDP(RowDP):
     """MinHaarSpace as a pluggable row DP (rows keyed by incoming value)."""
 
-    def __init__(self, epsilon: float, delta: float):
+    def __init__(self, epsilon: float, delta: float) -> None:
         if delta <= 0:
             raise InvalidInputError("delta must be strictly positive")
         self.epsilon = float(epsilon)
@@ -91,10 +96,12 @@ class MinHaarSpaceDP(RowDP):
     def leaf_row(self, value: float) -> MRow:
         return leaf_row(value, self.epsilon, self.delta)
 
-    def leaf_rows(self, values) -> list[MRow]:
+    def leaf_rows(self, values: ArrayLike) -> list[MRow]:
         return leaf_rows(values, self.epsilon, self.delta)
 
-    def subtree_rows(self, leaf_rows: list[MRow], leaf_values=None) -> list[MRow | None]:
+    def subtree_rows(
+        self, leaf_rows: list[MRow], leaf_values: ArrayLike | None = None
+    ) -> list[MRow | None]:
         return compute_subtree_rows(leaf_rows, self.epsilon, self.delta)
 
     def combine(self, left: MRow, right: MRow) -> MRow:
@@ -117,7 +124,7 @@ class MinHaarSpaceRestrictedDP(RowDP):
     over unchanged — the demonstration that Section 4 is DP-agnostic.
     """
 
-    def __init__(self, epsilon: float, delta: float):
+    def __init__(self, epsilon: float, delta: float) -> None:
         if delta <= 0:
             raise InvalidInputError("delta must be strictly positive")
         self.epsilon = float(epsilon)
@@ -126,10 +133,12 @@ class MinHaarSpaceRestrictedDP(RowDP):
     def leaf_row(self, value: float) -> MRow:
         return leaf_row(value, self.epsilon, self.delta)
 
-    def leaf_rows(self, values) -> list[MRow]:
+    def leaf_rows(self, values: ArrayLike) -> list[MRow]:
         return leaf_rows(values, self.epsilon, self.delta)
 
-    def subtree_rows(self, leaf_rows: list[MRow], leaf_values=None) -> list[MRow | None]:
+    def subtree_rows(
+        self, leaf_rows: list[MRow], leaf_values: ArrayLike | None = None
+    ) -> list[MRow | None]:
         from repro.algos.minhaarspace import compute_subtree_rows_restricted
         from repro.wavelet.transform import haar_transform
 
@@ -171,7 +180,13 @@ class _BottomUpLayerJob(MapReduceJob):
     #: stand-in), so this job must run in the driver process.
     process_safe = False
 
-    def __init__(self, dp: RowDP, layer: Layer, row_store: dict, parent_leaf_count: int):
+    def __init__(
+        self,
+        dp: RowDP,
+        layer: Layer,
+        row_store: dict[tuple[int, int], list[MRow | None]],
+        parent_leaf_count: int,
+    ) -> None:
         self.dp = dp
         self.layer = layer
         self.row_store = row_store
@@ -179,7 +194,7 @@ class _BottomUpLayerJob(MapReduceJob):
         self.name = f"dp-layer-{layer.index}"
         self.num_reducers = 0
 
-    def map(self, split: InputSplit):
+    def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:
         spec = split.meta["spec"]
         if self.layer.is_bottom:
             leaf_values = np.asarray(split.values, dtype=np.float64)
@@ -202,14 +217,16 @@ class _TopDownLayerJob(MapReduceJob):
     #: Reads the driver-side row store filled by the bottom-up pass.
     process_safe = False
 
-    def __init__(self, dp: RowDP, layer: Layer, row_store: dict):
+    def __init__(
+        self, dp: RowDP, layer: Layer, row_store: dict[tuple[int, int], list[MRow | None]]
+    ) -> None:
         self.dp = dp
         self.layer = layer
         self.row_store = row_store
         self.name = f"dp-traceback-{layer.index}"
         self.num_reducers = 0
 
-    def map(self, split: InputSplit):
+    def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:
         spec = split.meta["spec"]
         incoming = split.meta["incoming"]
         rows = self.row_store[(self.layer.index, spec.root)]
@@ -224,7 +241,9 @@ class _TopDownLayerJob(MapReduceJob):
 class LayeredDPDriver:
     """Runs a :class:`RowDP` over the whole error tree via layered jobs."""
 
-    def __init__(self, dp: RowDP, cluster: SimulatedCluster, subtree_leaves: int = 1024):
+    def __init__(
+        self, dp: RowDP, cluster: SimulatedCluster, subtree_leaves: int = 1024
+    ) -> None:
         if not is_power_of_two(subtree_leaves) or subtree_leaves < 2:
             raise InvalidInputError("subtree_leaves must be a power of two >= 2")
         self.dp = dp
@@ -315,7 +334,7 @@ class LayeredDPDriver:
 
 
 def dm_haar_space(
-    data,
+    data: ArrayLike,
     epsilon: float,
     delta: float,
     cluster: SimulatedCluster | None = None,

@@ -18,6 +18,7 @@ set of its sub-tree, so the DP rows / greedy runs it produces are exact.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import InvalidInputError
@@ -138,7 +139,9 @@ def local_to_global(subtree_root: int, local_node: int) -> int:
     return (subtree_root << level) | (local_node - (1 << level))
 
 
-def global_subtree_coefficients(coefficients, subtree_root: int, leaf_count: int):
+def global_subtree_coefficients(
+    coefficients: Sequence[float], subtree_root: int, leaf_count: int
+) -> list[float]:
     """Extract the local coefficient array of one sub-tree.
 
     Returns a length-``leaf_count`` list in local indexing (slot 0 unused)

@@ -10,6 +10,7 @@ available for finer control.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.algos.conventional import conventional_synopsis
 from repro.algos.greedy_abs import greedy_abs
@@ -50,7 +51,7 @@ ALGORITHMS = {
 
 
 def build_synopsis(
-    data,
+    data: ArrayLike,
     budget: int,
     algorithm: str = "dgreedy-abs",
     cluster: SimulatedCluster | None = None,

@@ -9,6 +9,7 @@ pipeline does when partitioning NYCT/WD) or truncate.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.exceptions import InvalidInputError
 from repro.wavelet.transform import is_power_of_two
@@ -23,7 +24,7 @@ def next_power_of_two(n: int) -> int:
     return 1 << (n - 1).bit_length()
 
 
-def pad_to_power_of_two(data, pad_value: float = 0.0) -> np.ndarray:
+def pad_to_power_of_two(data: ArrayLike, pad_value: float = 0.0) -> NDArray[np.float64]:
     """Right-pad ``data`` with ``pad_value`` up to the next power of two."""
     values = np.asarray(data, dtype=np.float64)
     if values.ndim != 1:
@@ -38,7 +39,7 @@ def pad_to_power_of_two(data, pad_value: float = 0.0) -> np.ndarray:
     return padded
 
 
-def truncate_to_power_of_two(data) -> np.ndarray:
+def truncate_to_power_of_two(data: ArrayLike) -> NDArray[np.float64]:
     """Keep the longest power-of-two prefix of ``data``."""
     values = np.asarray(data, dtype=np.float64)
     if values.ndim != 1:
@@ -50,7 +51,7 @@ def truncate_to_power_of_two(data) -> np.ndarray:
     return values[:keep].copy()
 
 
-def describe(data) -> dict[str, float]:
+def describe(data: ArrayLike) -> dict[str, float]:
     """Summary statistics in Table 3's format (records/avg/stdv/max)."""
     values = np.asarray(data, dtype=np.float64)
     return {

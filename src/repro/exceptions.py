@@ -34,7 +34,9 @@ class MemoryBudgetExceeded(ReproError):
     algorithm's estimated working set exceeds the configured budget.
     """
 
-    def __init__(self, required_bytes, budget_bytes, algorithm=""):
+    def __init__(
+        self, required_bytes: int | float, budget_bytes: int | float, algorithm: str = ""
+    ) -> None:
         self.required_bytes = int(required_bytes)
         self.budget_bytes = int(budget_bytes)
         self.algorithm = algorithm

@@ -18,7 +18,7 @@ from repro.mapreduce.cluster import (
 )
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import InputSplit, aligned_splits, block_splits
-from repro.mapreduce.job import MapReduceJob, stable_partition
+from repro.mapreduce.job import MapReduceJob, is_process_safe, stable_partition
 from repro.mapreduce.parallel import ThreadPoolRuntime, ThreadSafeFailureInjector
 from repro.mapreduce.process import ProcessPoolRuntime, ProcessSafeFailureInjector
 from repro.mapreduce.runtime import FailureInjector, JobResult, LocalRuntime
@@ -42,6 +42,7 @@ __all__ = [
     "aligned_splits",
     "block_splits",
     "estimate_size",
+    "is_process_safe",
     "make_runtime",
     "makespan",
     "price_log",

@@ -28,7 +28,9 @@ from __future__ import annotations
 import heapq
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from collections.abc import Iterator
+from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.exceptions import MemoryBudgetExceeded
 from repro.mapreduce.hdfs import InputSplit
@@ -96,17 +98,9 @@ class ClusterConfig:
     job_startup_seconds: float = 0.02
     shuffle_bytes_per_second: float = 64e6
 
-    def scaled(self, **overrides) -> "ClusterConfig":
+    def scaled(self, **overrides: Any) -> "ClusterConfig":
         """Return a copy with some fields replaced."""
-        params = {
-            "map_slots": self.map_slots,
-            "reduce_slots": self.reduce_slots,
-            "task_startup_seconds": self.task_startup_seconds,
-            "job_startup_seconds": self.job_startup_seconds,
-            "shuffle_bytes_per_second": self.shuffle_bytes_per_second,
-        }
-        params.update(overrides)
-        return ClusterConfig(**params)
+        return replace(self, **overrides)
 
 
 @dataclass
@@ -128,7 +122,7 @@ class RunLog:
     def job_count(self) -> int:
         return len(self.jobs)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "simulated_seconds": self.simulated_seconds,
             "driver_seconds": self.driver_seconds,
@@ -144,7 +138,7 @@ class SimulatedCluster:
         self,
         config: ClusterConfig | None = None,
         runtime: LocalRuntime | str | None = None,
-    ):
+    ) -> None:
         self.config = config or ClusterConfig()
         if isinstance(runtime, str):
             runtime = make_runtime(runtime)
@@ -176,7 +170,7 @@ class SimulatedCluster:
         return result
 
     @contextmanager
-    def driver(self):
+    def driver(self) -> Iterator[None]:
         """Time a block of centralized driver-side work.
 
         Driver work runs on the master node and is charged at face value
@@ -218,7 +212,7 @@ class MemoryModel:
     and the model raises :class:`MemoryBudgetExceeded` when it doesn't fit.
     """
 
-    def __init__(self, budget_bytes: int):
+    def __init__(self, budget_bytes: int) -> None:
         if budget_bytes <= 0:
             raise ValueError("memory budget must be positive")
         self.budget_bytes = int(budget_bytes)

@@ -8,15 +8,15 @@ to emit (e.g. number of speculative GreedyAbs runs).
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Mapping
+from collections.abc import Iterator, Mapping
 
 __all__ = ["Counters"]
 
 
-class Counters(Mapping):
+class Counters(Mapping[str, int]):
     """A mergeable bag of named integer counters."""
 
-    def __init__(self, initial: Mapping[str, int] | None = None):
+    def __init__(self, initial: Mapping[str, int] | None = None) -> None:
         self._values: dict[str, int] = defaultdict(int)
         if initial:
             for name, value in initial.items():
@@ -38,10 +38,10 @@ class Counters(Mapping):
     def __getitem__(self, name: str) -> int:
         return self._values[name]
 
-    def get(self, name: str, default: int = 0) -> int:
+    def get(self, name: str, default: int = 0) -> int:  # type: ignore[override]
         return self._values.get(name, default)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._values)
 
     def __len__(self) -> int:

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.exceptions import InvalidInputError
 from repro.wavelet.transform import is_power_of_two
@@ -34,7 +35,7 @@ class InputSplit:
 
     split_id: int
     offset: int
-    values: np.ndarray
+    values: NDArray[np.float64]
     meta: dict[str, Any] = field(default_factory=dict)
 
     def __len__(self) -> int:
@@ -45,7 +46,7 @@ class InputSplit:
         return int(self.values.nbytes)
 
 
-def aligned_splits(data, split_size: int) -> list[InputSplit]:
+def aligned_splits(data: ArrayLike, split_size: int) -> list[InputSplit]:
     """Partition ``data`` into power-of-two aligned splits of ``split_size``.
 
     ``len(data)`` and ``split_size`` must both be powers of two with
@@ -66,7 +67,7 @@ def aligned_splits(data, split_size: int) -> list[InputSplit]:
     ]
 
 
-def block_splits(data, block_size: int) -> list[InputSplit]:
+def block_splits(data: ArrayLike, block_size: int) -> list[InputSplit]:
     """Partition ``data`` into HDFS-style blocks of ``block_size`` points.
 
     No power-of-two alignment is required (Send-Coef's discipline); the
@@ -76,7 +77,7 @@ def block_splits(data, block_size: int) -> list[InputSplit]:
     if block_size <= 0:
         raise InvalidInputError("block size must be positive")
     n = values.shape[0]
-    splits = []
+    splits: list[InputSplit] = []
     for i, start in enumerate(range(0, n, block_size)):
         splits.append(
             InputSplit(split_id=i, offset=start, values=values[start : start + block_size])

@@ -19,13 +19,14 @@ from __future__ import annotations
 
 import zlib
 from collections.abc import Iterable, Iterator
+from typing import Any, ClassVar
 
 from repro.mapreduce.hdfs import InputSplit
 
-__all__ = ["MapReduceJob", "stable_partition"]
+__all__ = ["MapReduceJob", "is_process_safe", "stable_partition"]
 
 
-def stable_partition(key, num_reducers: int) -> int:
+def stable_partition(key: Any, num_reducers: int) -> int:
     """Deterministic default partitioner (CRC32 of the key's repr).
 
     Python's built-in ``hash`` is randomized for strings across processes;
@@ -38,39 +39,46 @@ class MapReduceJob:
     """Base class for jobs; subclasses override ``map`` and ``reduce``."""
 
     #: Human-readable job name (shows up in job logs and reports).
-    name = "job"
+    name: str = "job"
 
     #: Number of reduce tasks. ``0`` means a map-only job.
-    num_reducers = 1
+    num_reducers: int = 1
 
     #: Sort the keys of each reduce partition in descending order when True.
-    sort_descending = False
+    sort_descending: bool = False
 
-    def map(self, split: InputSplit) -> Iterable[tuple]:
+    #: Whether the job may be shipped to a worker process: picklable at
+    #: module level, with no driver-side shared state read or written by
+    #: its task methods.  Jobs that do share driver state (the layered DP
+    #: jobs) declare ``process_safe = False`` and run in-process.  The
+    #: process runtime and the PS001/PS002 lint rules read the same flag.
+    process_safe: ClassVar[bool] = True
+
+    def map(self, split: InputSplit) -> Iterable[tuple[Any, Any]]:
         """Process one input split; yield ``(key, value)`` pairs."""
         raise NotImplementedError
 
-    def combine(self, key, values: list) -> Iterable[tuple]:
+    def combine(self, key: Any, values: list[Any]) -> Iterable[tuple[Any, Any]]:
         """Optional map-side combiner; default is the identity."""
         for value in values:
             yield key, value
 
     #: Set True when :meth:`combine` is overridden, to enable the map-side pass.
-    use_combiner = False
+    use_combiner: bool = False
 
-    def partition(self, key, num_reducers: int) -> int:
+    def partition(self, key: Any, num_reducers: int) -> int:
         """Route ``key`` to a reducer; default is a stable hash."""
         return stable_partition(key, num_reducers)
 
-    def sort_key(self, key):
+    def sort_key(self, key: Any) -> Any:
         """Key used for the shuffle sort; default sorts on the key itself."""
         return key
 
-    def reduce(self, key, values: list) -> Iterable[tuple]:
+    def reduce(self, key: Any, values: list[Any]) -> Iterable[tuple[Any, Any]]:
         """Process one key group; yield output ``(key, value)`` pairs."""
         raise NotImplementedError
 
-    def reduce_partition(self, records: list[tuple]) -> Iterator[tuple]:
+    def reduce_partition(self, records: list[tuple[Any, Any]]) -> Iterator[tuple[Any, Any]]:
         """Process a whole sorted reduce partition.
 
         ``records`` is the list of ``(key, value)`` pairs of this partition
@@ -81,8 +89,18 @@ class MapReduceJob:
         total = len(records)
         while index < total:
             key = records[index][0]
-            values = []
+            values: list[Any] = []
             while index < total and records[index][0] == key:
                 values.append(records[index][1])
                 index += 1
             yield from self.reduce(key, values)
+
+
+def is_process_safe(job: MapReduceJob) -> bool:
+    """Whether ``job`` may execute on a worker process.
+
+    The single source of truth shared by the process runtime's dispatch
+    and the meta-tests: reads :attr:`MapReduceJob.process_safe`, which
+    every job inherits as ``True`` and driver-state-sharing jobs override.
+    """
+    return bool(job.process_safe)

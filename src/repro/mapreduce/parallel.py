@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from typing import Any
 
 from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.job import MapReduceJob
@@ -50,7 +51,7 @@ def default_worker_count() -> int:
 class ThreadSafeFailureInjector(FailureInjector):
     """A :class:`FailureInjector` whose RNG draws are serialized."""
 
-    def __init__(self, probability: float, seed: int = 0, max_attempts: int = 4):
+    def __init__(self, probability: float, seed: int = 0, max_attempts: int = 4) -> None:
         super().__init__(probability, seed, max_attempts)
         self._lock = threading.Lock()
 
@@ -71,7 +72,7 @@ class ThreadPoolRuntime(LocalRuntime):
         self,
         max_workers: int | None = None,
         failure_injector: FailureInjector | None = None,
-    ):
+    ) -> None:
         if max_workers is None:
             max_workers = default_worker_count()
         if max_workers < 1:
@@ -79,8 +80,10 @@ class ThreadPoolRuntime(LocalRuntime):
         super().__init__(failure_injector)
         self.max_workers = max_workers
 
-    def _execute_map_tasks(self, job: MapReduceJob, splits: list[InputSplit]):
-        def map_task(split: InputSplit):
+    def _execute_map_tasks(
+        self, job: MapReduceJob, splits: list[InputSplit]
+    ) -> list[tuple[list[tuple[Any, Any]], float]]:
+        def map_task(split: InputSplit) -> tuple[list[tuple[Any, Any]], float]:
             return self._run_attempts(
                 lambda: run_map_task(job, split), f"{job.name}/map-{split.split_id}"
             )
@@ -88,8 +91,12 @@ class ThreadPoolRuntime(LocalRuntime):
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(map_task, splits))
 
-    def _execute_reduce_tasks(self, job: MapReduceJob, partitions: list[list[tuple]]):
-        def reduce_task(indexed_partition):
+    def _execute_reduce_tasks(
+        self, job: MapReduceJob, partitions: list[list[tuple[Any, Any]]]
+    ) -> list[tuple[list[tuple[Any, Any]], float]]:
+        def reduce_task(
+            indexed_partition: tuple[int, list[tuple[Any, Any]]],
+        ) -> tuple[list[tuple[Any, Any]], float]:
             reducer_id, partition = indexed_partition
             return self._run_attempts(
                 lambda: run_reduce_task(job, partition),

@@ -31,9 +31,10 @@ from __future__ import annotations
 import os
 import zlib
 from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable
 
 from repro.mapreduce.hdfs import InputSplit
-from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.job import MapReduceJob, is_process_safe
 from repro.mapreduce.runtime import (
     FailureInjector,
     LocalRuntime,
@@ -79,13 +80,17 @@ class ProcessSafeFailureInjector(FailureInjector):
         )
 
 
-def _run_map_task_in_worker(args):
+def _run_map_task_in_worker(
+    args: tuple[MapReduceJob, InputSplit, str, FailureInjector | None],
+) -> tuple[Any, float]:
     """Module-level worker body (bound methods don't pickle)."""
     job, split, task_label, injector = args
     return run_task_attempts(lambda: run_map_task(job, split), task_label, injector)
 
 
-def _run_reduce_task_in_worker(args):
+def _run_reduce_task_in_worker(
+    args: tuple[MapReduceJob, list[tuple[Any, Any]], str, FailureInjector | None],
+) -> tuple[Any, float]:
     job, partition, task_label, injector = args
     return run_task_attempts(
         lambda: run_reduce_task(job, partition), task_label, injector
@@ -106,7 +111,7 @@ class ProcessPoolRuntime(LocalRuntime):
         self,
         max_workers: int | None = None,
         failure_injector: ProcessSafeFailureInjector | None = None,
-    ):
+    ) -> None:
         if max_workers is None:
             max_workers = default_process_count()
         if max_workers < 1:
@@ -121,7 +126,9 @@ class ProcessPoolRuntime(LocalRuntime):
         super().__init__(failure_injector)
         self.max_workers = max_workers
 
-    def _run_attempts(self, task_callable, task_label: str):
+    def _run_attempts(
+        self, task_callable: Callable[[], Any], task_label: str
+    ) -> tuple[Any, float]:
         # In-process fallback path (process_safe=False jobs): derive the
         # same per-label injector the workers would use, keeping failure
         # patterns identical whichever side executes the task.
@@ -137,8 +144,10 @@ class ProcessPoolRuntime(LocalRuntime):
             return None
         return self.failure_injector.for_task(task_label)
 
-    def _execute_map_tasks(self, job: MapReduceJob, splits: list[InputSplit]):
-        if not getattr(job, "process_safe", True):
+    def _execute_map_tasks(
+        self, job: MapReduceJob, splits: list[InputSplit]
+    ) -> list[tuple[list[tuple[Any, Any]], float]]:
+        if not is_process_safe(job):
             return super()._execute_map_tasks(job, splits)
         work = [
             (job, split, label, self._task_injector(label))
@@ -148,8 +157,10 @@ class ProcessPoolRuntime(LocalRuntime):
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(_run_map_task_in_worker, work))
 
-    def _execute_reduce_tasks(self, job: MapReduceJob, partitions: list[list[tuple]]):
-        if not getattr(job, "process_safe", True):
+    def _execute_reduce_tasks(
+        self, job: MapReduceJob, partitions: list[list[tuple[Any, Any]]]
+    ) -> list[tuple[list[tuple[Any, Any]], float]]:
+        if not is_process_safe(job):
             return super()._execute_reduce_tasks(job, partitions)
         work = [
             (job, partition, label, self._task_injector(label))

@@ -30,6 +30,7 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
@@ -52,7 +53,7 @@ __all__ = [
 class FailureInjector:
     """Randomly fails task attempts to exercise the retry machinery."""
 
-    def __init__(self, probability: float, seed: int = 0, max_attempts: int = 4):
+    def __init__(self, probability: float, seed: int = 0, max_attempts: int = 4) -> None:
         if not 0.0 <= probability < 1.0:
             raise ValueError("failure probability must be in [0, 1)")
         self.probability = probability
@@ -70,7 +71,7 @@ class JobResult:
     """Everything a job run produced, plus per-task measurements."""
 
     job_name: str
-    output: list[tuple]
+    output: list[tuple[Any, Any]]
     counters: Counters
     map_task_seconds: list[float]
     reduce_task_seconds: list[float]
@@ -79,10 +80,10 @@ class JobResult:
     #: Filled in by the cluster model: simulated wall-clock of this job.
     simulated_seconds: float = 0.0
     #: Per-reducer outputs, in partition order (useful for debugging).
-    reducer_outputs: list[list[tuple]] = field(default_factory=list)
+    reducer_outputs: list[list[tuple[Any, Any]]] = field(default_factory=list)
 
 
-def _hashable(key):
+def _hashable(key: Any) -> Any:
     """Map a key to something usable as a dict key for combining."""
     try:
         hash(key)
@@ -91,19 +92,21 @@ def _hashable(key):
         return repr(key)
 
 
-def apply_combiner(job: MapReduceJob, output: list[tuple]) -> list[tuple]:
+def apply_combiner(
+    job: MapReduceJob, output: list[tuple[Any, Any]]
+) -> list[tuple[Any, Any]]:
     """Group one map task's output by key and run the job's combiner."""
-    grouped: dict = defaultdict(list)
+    grouped: dict[Any, list[tuple[Any, Any]]] = defaultdict(list)
     for key, value in output:
         grouped[_hashable(key)].append((key, value))
-    combined: list[tuple] = []
+    combined: list[tuple[Any, Any]] = []
     for pairs in grouped.values():
         key = pairs[0][0]
         combined.extend(job.combine(key, [value for _, value in pairs]))
     return combined
 
 
-def run_map_task(job: MapReduceJob, split: InputSplit) -> list[tuple]:
+def run_map_task(job: MapReduceJob, split: InputSplit) -> list[tuple[Any, Any]]:
     """One map task: map a split, then combine locally if configured."""
     output = list(job.map(split))
     if job.use_combiner:
@@ -111,7 +114,9 @@ def run_map_task(job: MapReduceJob, split: InputSplit) -> list[tuple]:
     return output
 
 
-def run_reduce_task(job: MapReduceJob, partition: list[tuple]) -> list[tuple]:
+def run_reduce_task(
+    job: MapReduceJob, partition: list[tuple[Any, Any]]
+) -> list[tuple[Any, Any]]:
     """One reduce task: sort the partition, then reduce it whole."""
     ordered = sorted(
         partition,
@@ -122,8 +127,10 @@ def run_reduce_task(job: MapReduceJob, partition: list[tuple]) -> list[tuple]:
 
 
 def run_task_attempts(
-    task_callable, task_label: str, injector: FailureInjector | None = None
-) -> tuple[object, float]:
+    task_callable: Callable[[], Any],
+    task_label: str,
+    injector: FailureInjector | None = None,
+) -> tuple[Any, float]:
     """Run one task with retries; return (result, total attempt seconds)."""
     attempts = 0
     total_seconds = 0.0
@@ -145,15 +152,17 @@ def run_task_attempts(
 class LocalRuntime:
     """Runs jobs in-process with per-task timing and attempt retries."""
 
-    def __init__(self, failure_injector: FailureInjector | None = None):
+    def __init__(self, failure_injector: FailureInjector | None = None) -> None:
         self.failure_injector = failure_injector
 
-    def _run_attempts(self, task_callable, task_label: str) -> tuple[object, float]:
+    def _run_attempts(
+        self, task_callable: Callable[[], Any], task_label: str
+    ) -> tuple[Any, float]:
         return run_task_attempts(task_callable, task_label, self.failure_injector)
 
     def _execute_map_tasks(
         self, job: MapReduceJob, splits: list[InputSplit]
-    ) -> list[tuple[list[tuple], float]]:
+    ) -> list[tuple[list[tuple[Any, Any]], float]]:
         """Run every map task; return ``(output, seconds)`` in split order."""
         return [
             self._run_attempts(
@@ -164,8 +173,8 @@ class LocalRuntime:
         ]
 
     def _execute_reduce_tasks(
-        self, job: MapReduceJob, partitions: list[list[tuple]]
-    ) -> list[tuple[list[tuple], float]]:
+        self, job: MapReduceJob, partitions: list[list[tuple[Any, Any]]]
+    ) -> list[tuple[list[tuple[Any, Any]], float]]:
         """Run every reduce task; return ``(output, seconds)`` in partition order."""
         return [
             self._run_attempts(
@@ -181,7 +190,7 @@ class LocalRuntime:
         map_results = self._execute_map_tasks(job, splits)
 
         map_task_seconds = [seconds for _, seconds in map_results]
-        all_map_output: list[tuple] = []
+        all_map_output: list[tuple[Any, Any]] = []
         shuffle_bytes = 0
         for split, (output, _) in zip(splits, map_results):
             counters.increment("map.input_records", len(split))
@@ -204,14 +213,14 @@ class LocalRuntime:
                 map_output_records=len(all_map_output),
             )
 
-        partitions: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
+        partitions: list[list[tuple[Any, Any]]] = [[] for _ in range(job.num_reducers)]
         for key, value in all_map_output:
             partitions[job.partition(key, job.num_reducers)].append((key, value))
 
         reduce_results = self._execute_reduce_tasks(job, partitions)
         reduce_task_seconds = [seconds for _, seconds in reduce_results]
         reducer_outputs = [output for output, _ in reduce_results]
-        final_output: list[tuple] = []
+        final_output: list[tuple[Any, Any]] = []
         for partition, output in zip(partitions, reducer_outputs):
             counters.increment("reduce.input_records", len(partition))
             counters.increment("reduce.output_records", len(output))

@@ -11,6 +11,8 @@ small framing overhead per container.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 __all__ = ["estimate_size", "record_size"]
@@ -24,7 +26,7 @@ _FLOAT_SIZE = 8
 _BOOL_SIZE = 1
 
 
-def estimate_size(obj) -> int:
+def estimate_size(obj: Any) -> int:
     """Return the modeled serialized size of ``obj`` in bytes."""
     if obj is None:
         return 1
@@ -53,6 +55,6 @@ def estimate_size(obj) -> int:
     return _FLOAT_SIZE  # conservative default for unknown scalars
 
 
-def record_size(key, value) -> int:
+def record_size(key: Any, value: Any) -> int:
     """Modeled size of one shuffled ``(key, value)`` record."""
     return estimate_size(key) + estimate_size(value)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Mapping
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.exceptions import InvalidInputError
 from repro.wavelet.transform import (
@@ -212,7 +213,7 @@ class ErrorTree:
     slices instead and never materialize a global tree.
     """
 
-    def __init__(self, data):
+    def __init__(self, data: ArrayLike) -> None:
         self.data = np.asarray(data, dtype=np.float64)
         if self.data.ndim != 1:
             raise InvalidInputError("data must be one-dimensional")

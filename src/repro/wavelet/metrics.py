@@ -13,6 +13,7 @@ original data:
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.exceptions import InvalidInputError
 
@@ -29,7 +30,9 @@ __all__ = [
 DEFAULT_SANITY_BOUND = 1.0
 
 
-def _as_pair(data, approximation) -> tuple[np.ndarray, np.ndarray]:
+def _as_pair(
+    data: ArrayLike, approximation: ArrayLike
+) -> tuple[NDArray[np.float64], NDArray[np.float64]]:
     original = np.asarray(data, dtype=np.float64)
     approx = np.asarray(approximation, dtype=np.float64)
     if original.shape != approx.shape:
@@ -41,25 +44,27 @@ def _as_pair(data, approximation) -> tuple[np.ndarray, np.ndarray]:
     return original, approx
 
 
-def signed_errors(data, approximation) -> np.ndarray:
+def signed_errors(data: ArrayLike, approximation: ArrayLike) -> NDArray[np.float64]:
     """Return the signed accumulated errors ``err_i = d_hat_i - d_i``."""
     original, approx = _as_pair(data, approximation)
     return approx - original
 
 
-def l2_error(data, approximation) -> float:
+def l2_error(data: ArrayLike, approximation: ArrayLike) -> float:
     """Root-mean-squared reconstruction error (Eq. 1)."""
     original, approx = _as_pair(data, approximation)
     return float(np.sqrt(np.mean((approx - original) ** 2)))
 
 
-def max_abs_error(data, approximation) -> float:
+def max_abs_error(data: ArrayLike, approximation: ArrayLike) -> float:
     """Maximum absolute reconstruction error (Eq. 2)."""
     original, approx = _as_pair(data, approximation)
     return float(np.max(np.abs(approx - original)))
 
 
-def max_rel_error(data, approximation, sanity_bound: float = DEFAULT_SANITY_BOUND) -> float:
+def max_rel_error(
+    data: ArrayLike, approximation: ArrayLike, sanity_bound: float = DEFAULT_SANITY_BOUND
+) -> float:
     """Maximum relative reconstruction error with sanity bound ``S`` (Eq. 3).
 
     Each value's absolute error is divided by ``max(|d_i|, S)``; ``S`` must

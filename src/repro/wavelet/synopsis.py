@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.exceptions import InvalidInputError
 from repro.wavelet import metrics
@@ -90,15 +91,17 @@ class WaveletSynopsis:
             raise InvalidInputError(f"empty range [{lo}, {hi}]")
         return self.range_sum(lo, hi) / (hi - lo + 1)
 
-    def max_abs_error(self, data) -> float:
+    def max_abs_error(self, data: ArrayLike) -> float:
         """Maximum absolute reconstruction error against ``data``."""
         return metrics.max_abs_error(data, self.reconstruct())
 
-    def max_rel_error(self, data, sanity_bound: float = metrics.DEFAULT_SANITY_BOUND) -> float:
+    def max_rel_error(
+        self, data: ArrayLike, sanity_bound: float = metrics.DEFAULT_SANITY_BOUND
+    ) -> float:
         """Maximum relative reconstruction error against ``data``."""
         return metrics.max_rel_error(data, self.reconstruct(), sanity_bound)
 
-    def l2_error(self, data) -> float:
+    def l2_error(self, data: ArrayLike) -> float:
         """Root-mean-squared reconstruction error against ``data``."""
         return metrics.l2_error(data, self.reconstruct())
 

@@ -15,10 +15,12 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.algos.heap import AddressableMinHeap
 from repro.exceptions import InvalidInputError
@@ -79,17 +81,17 @@ class WaveletSynopsis2D:
         """Approximate sum over an inclusive rectangle in ``O(log^2 N)``."""
         return reconstruct_rectangle_sum(self.coefficients, row_range, col_range, self.shape)
 
-    def max_abs_error(self, matrix) -> float:
+    def max_abs_error(self, matrix: ArrayLike) -> float:
         """Maximum absolute reconstruction error against ``matrix``."""
         return float(np.max(np.abs(self.reconstruct() - np.asarray(matrix, dtype=np.float64))))
 
-    def l2_error(self, matrix) -> float:
+    def l2_error(self, matrix: ArrayLike) -> float:
         """Root-mean-squared reconstruction error against ``matrix``."""
         diff = self.reconstruct() - np.asarray(matrix, dtype=np.float64)
         return float(np.sqrt(np.mean(diff**2)))
 
 
-def conventional_synopsis_2d(matrix, budget: int) -> WaveletSynopsis2D:
+def conventional_synopsis_2d(matrix: ArrayLike, budget: int) -> WaveletSynopsis2D:
     """Top-``budget`` coefficients by 2-D normalized significance."""
     values = np.asarray(matrix, dtype=np.float64)
     if budget < 0:
@@ -111,15 +113,15 @@ def conventional_synopsis_2d(matrix, budget: int) -> WaveletSynopsis2D:
 class _Greedy2DEngine:
     """Greedy discard over the 2-D standard decomposition."""
 
-    def __init__(self, matrix):
+    def __init__(self, matrix: ArrayLike) -> None:
         self.values = np.asarray(matrix, dtype=np.float64)
         self.shape = self.values.shape
         self.coefficients = haar_transform_2d(self.values)
         self.errors = np.zeros(self.shape, dtype=np.float64)
         rows, cols = self.shape
         self.heap = AddressableMinHeap()
-        self._ids = {}
-        self._nodes = {}
+        self._ids: dict[tuple[int, int], int] = {}
+        self._nodes: dict[int, tuple[int, int]] = {}
         next_id = 0
         for a in range(rows):
             for b in range(cols):
@@ -129,7 +131,9 @@ class _Greedy2DEngine:
         for node, item in self._ids.items():
             self.heap.push(item, self._ma(node))
 
-    def _quadrants(self, node: tuple[int, int]):
+    def _quadrants(
+        self, node: tuple[int, int]
+    ) -> Iterator[tuple[slice, slice, float]]:
         """Yield ``(row slice, col slice, sign)`` of the node's support."""
         a, b = node
         n_rows, n_cols = self.shape
@@ -185,7 +189,7 @@ class _Greedy2DEngine:
         return len(self.heap)
 
 
-def greedy_abs_2d(matrix, budget: int) -> WaveletSynopsis2D:
+def greedy_abs_2d(matrix: ArrayLike, budget: int) -> WaveletSynopsis2D:
     """Max-abs greedy thresholding over a 2-D grid.
 
     Same discipline as the 1-D GreedyAbs: discard minimum-potential-error

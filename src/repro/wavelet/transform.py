@@ -22,6 +22,7 @@ This is the non-normalized form used throughout the thresholding literature;
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.exceptions import InvalidInputError, NotPowerOfTwoError
 
@@ -51,7 +52,7 @@ def _validate_length(n: int) -> None:
         )
 
 
-def haar_transform(data) -> np.ndarray:
+def haar_transform(data: ArrayLike) -> NDArray[np.float64]:
     """Compute the Haar wavelet decomposition ``W_A`` of ``data``.
 
     Parameters
@@ -83,7 +84,7 @@ def haar_transform(data) -> np.ndarray:
     return out
 
 
-def inverse_haar_transform(coefficients) -> np.ndarray:
+def inverse_haar_transform(coefficients: ArrayLike) -> NDArray[np.float64]:
     """Reconstruct the original data vector from a full Haar decomposition.
 
     Exact inverse of :func:`haar_transform` (up to floating-point rounding).
@@ -106,7 +107,7 @@ def inverse_haar_transform(coefficients) -> np.ndarray:
     return current
 
 
-def decomposition_steps(data) -> list[tuple[np.ndarray, np.ndarray]]:
+def decomposition_steps(data: ArrayLike) -> list[tuple[NDArray[np.float64], NDArray[np.float64]]]:
     """Return the per-resolution (averages, details) pairs of the transform.
 
     The first element corresponds to the finest resolution, mirroring the
@@ -152,7 +153,7 @@ def coefficient_levels(n: int) -> np.ndarray:
     return levels
 
 
-def normalized_significance(coefficients) -> np.ndarray:
+def normalized_significance(coefficients: ArrayLike) -> NDArray[np.float64]:
     """Return the significance ``c_i* = |c_i| / sqrt(2**level(c_i))``.
 
     The conventional (L2-optimal) thresholding scheme retains the ``B``

@@ -19,7 +19,10 @@ everything composes from the 1-D error-tree machinery:
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.exceptions import InvalidInputError
 from repro.wavelet.error_tree import data_path, leaf_sign, node_leaf_range
@@ -40,7 +43,7 @@ __all__ = [
 ]
 
 
-def _validate_matrix(matrix) -> np.ndarray:
+def _validate_matrix(matrix: ArrayLike) -> NDArray[np.float64]:
     values = np.asarray(matrix, dtype=np.float64)
     if values.ndim != 2:
         raise InvalidInputError("input must be a 2-D matrix")
@@ -52,21 +55,21 @@ def _validate_matrix(matrix) -> np.ndarray:
     return values
 
 
-def haar_transform_2d(matrix) -> np.ndarray:
+def haar_transform_2d(matrix: ArrayLike) -> NDArray[np.float64]:
     """Standard 2-D Haar decomposition: 1-D transform on rows then columns."""
     values = _validate_matrix(matrix)
     row_transformed = np.apply_along_axis(haar_transform, 1, values)
     return np.apply_along_axis(haar_transform, 0, row_transformed)
 
 
-def inverse_haar_transform_2d(coefficients) -> np.ndarray:
+def inverse_haar_transform_2d(coefficients: ArrayLike) -> NDArray[np.float64]:
     """Exact inverse of :func:`haar_transform_2d`."""
     values = _validate_matrix(coefficients)
     col_restored = np.apply_along_axis(inverse_haar_transform, 0, values)
     return np.apply_along_axis(inverse_haar_transform, 1, col_restored)
 
 
-def normalized_significance_2d(coefficients) -> np.ndarray:
+def normalized_significance_2d(coefficients: ArrayLike) -> NDArray[np.float64]:
     """Significance ``|c| / sqrt(2**(level_row + level_col))``.
 
     The 2-D analogue of the conventional scheme: retaining the top-``B``
@@ -80,7 +83,12 @@ def normalized_significance_2d(coefficients) -> np.ndarray:
     return np.abs(values) / np.sqrt(np.exp2(row_levels + col_levels))
 
 
-def reconstruct_cell(coefficients, row: int, col: int, shape: tuple[int, int]) -> float:
+def reconstruct_cell(
+    coefficients: Mapping[tuple[int, int], float] | NDArray[np.float64],
+    row: int,
+    col: int,
+    shape: tuple[int, int],
+) -> float:
     """Reconstruct one cell from a sparse ``{(a, b): value}`` mapping.
 
     ``O(log^2 N)`` — the product of the two 1-D paths.
@@ -124,7 +132,7 @@ def range_weights(lo: int, hi: int, n: int) -> dict[int, float]:
 
 
 def reconstruct_rectangle_sum(
-    coefficients,
+    coefficients: Mapping[tuple[int, int], float] | NDArray[np.float64],
     row_range: tuple[int, int],
     col_range: tuple[int, int],
     shape: tuple[int, int],
