@@ -135,7 +135,18 @@ class MRow:
 
     def serialized_size(self) -> int:
         """Modeled shuffle size: the O(epsilon/delta) cost of Section 4."""
-        return 8 + 4 * len(self) + 8 * len(self) + 4 * len(self)
+        return MRow.sized(len(self))
+
+    @staticmethod
+    def sized(entries: int) -> int:
+        """Modeled serialized bytes of a row with ``entries`` grid points.
+
+        The closed form the Eq. 6 bound checker
+        (:mod:`repro.observe.bounds`) uses to predict shuffle volume
+        without building rows; keeping it next to ``serialized_size``
+        means the prediction and the measurement share one definition.
+        """
+        return 8 + 4 * entries + 8 * entries + 4 * entries
 
 
 @dataclass

@@ -70,6 +70,11 @@ class Measurement:
     shuffle_bytes: int = 0
     jobs: int = 0
     oom: bool = False
+    #: Per-stage-label communication roll-up of the run's trace (see
+    #: :func:`repro.observe.report.trace_summary`); empty for centralized
+    #: algorithms, which run no jobs.  Small enough to live inside
+    #: ``BENCH_*.json``.
+    trace: dict[str, Any] = field(default_factory=dict)
     extra: dict[str, Any] = field(default_factory=dict)
 
     def row(self, settings: BenchSettings | None = None) -> dict:
@@ -91,6 +96,11 @@ def measure_distributed(
     error_of: Callable[[Any], float] | None = None,
 ) -> Measurement:
     """Run a distributed algorithm and read its simulated cost."""
+    # Imported here: repro.observe renders tables via repro.bench.reporting,
+    # so a module-level import would close an import cycle through
+    # repro.bench.__init__.
+    from repro.observe.report import trace_summary
+
     cluster.reset()
     result = build(cluster)
     return Measurement(
@@ -100,6 +110,7 @@ def measure_distributed(
         error=error_of(result) if error_of else None,
         shuffle_bytes=cluster.log.shuffle_bytes,
         jobs=cluster.log.job_count,
+        trace=trace_summary(cluster.log.trace()),
         extra={"result": result},
     )
 

@@ -58,6 +58,7 @@ def _load_synopsis(path: str) -> WaveletSynopsis:
 
 def _cmd_build(args: argparse.Namespace) -> int:
     data = _load_data(args.data)
+    cluster = SimulatedCluster(runtime=args.runtime)
     synopsis = build_synopsis(
         data,
         budget=args.budget,
@@ -65,8 +66,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
         delta=args.delta,
         sanity_bound=args.sanity_bound,
         subtree_leaves=args.subtree_leaves,
-        cluster=SimulatedCluster(runtime=args.runtime),
+        cluster=cluster,
     )
+    if args.trace:
+        Path(args.trace).write_text(json.dumps(cluster.log.trace(), indent=2))
+        print(
+            f"wrote trace ({cluster.log.job_count} jobs) to {args.trace}",
+            file=sys.stderr,
+        )
     payload = synopsis.to_dict()
     if args.output:
         Path(args.output).write_text(json.dumps(payload, indent=2))
@@ -133,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(parallel GIL-bound tasks)",
     )
     build.add_argument("--output", help="write the synopsis JSON here")
+    build.add_argument(
+        "--trace",
+        help="write the run's stage-level trace JSON here (inspect with "
+        "`python -m repro.observe`)",
+    )
     build.set_defaults(handler=_cmd_build)
 
     query = commands.add_parser("query", help="query a stored synopsis")

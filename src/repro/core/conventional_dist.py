@@ -84,6 +84,7 @@ def _prepare(
 
 class _ConJob(MapReduceJob):
     name = "con"
+    stage_label = "conventional.con"
     num_reducers = 1
 
     def __init__(self, n: int, budget: int, split_size: int) -> None:
@@ -137,6 +138,7 @@ def con_synopsis(
 
 class _SendVJob(MapReduceJob):
     name = "send-v"
+    stage_label = "conventional.send_v"
     num_reducers = 1
 
     def __init__(self, n: int, budget: int) -> None:
@@ -227,6 +229,7 @@ def _block_contributions(split: InputSplit, n: int) -> Iterator[tuple[int, float
 
 class _SendCoefJob(MapReduceJob):
     name = "send-coef"
+    stage_label = "conventional.send_coef"
     num_reducers = 1
 
     def __init__(self, n: int, budget: int) -> None:
@@ -289,6 +292,9 @@ class _HWTopkRound(MapReduceJob):
     or the values of the surviving candidate set (round 3).
     """
 
+    #: All three rounds share one role (the per-instance ``name`` carries
+    #: the round mode).
+    stage_label = "conventional.h_wtopk"
     num_reducers = 1
 
     def __init__(

@@ -223,6 +223,7 @@ class _HistogramJob(MapReduceJob):
     """Job 1: speculative ErrHistGreedyAbs runs on every base sub-tree."""
 
     name = "dgreedy-histograms"
+    stage_label = "dgreedy.histograms"
 
     def __init__(
         self,
@@ -344,6 +345,7 @@ class _ConstructJob(MapReduceJob):
     """
 
     name = "dgreedy-construct"
+    stage_label = "dgreedy.construct"
     num_reducers = 1
 
     def __init__(
@@ -389,6 +391,7 @@ class _AverageJob(MapReduceJob):
     """
 
     name = "dgreedy-averages"
+    stage_label = "dgreedy.averages"
     num_reducers = 0
 
     def map(self, split: InputSplit) -> Iterator[tuple[Any, Any]]:

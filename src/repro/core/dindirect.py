@@ -79,6 +79,7 @@ class _LowerBoundJob(MapReduceJob):
     """Distributed ``(B+1)``-largest coefficient magnitude."""
 
     name = "dindirect-lower-bound"
+    stage_label = "dindirect.lower_bound"
     num_reducers = 1
 
     def __init__(self, n: int, budget: int, split_size: int) -> None:
@@ -113,6 +114,7 @@ class _EvaluateSynopsisJob(MapReduceJob):
     """Distributed max-abs evaluation of a broadcast synopsis."""
 
     name = "dindirect-upper-bound"
+    stage_label = "dindirect.upper_bound"
     num_reducers = 1
 
     def __init__(self, n: int, retained: dict[int, float], split_size: int) -> None:

@@ -180,6 +180,10 @@ class _BottomUpLayerJob(MapReduceJob):
     #: stand-in), so this job must run in the driver process.
     process_safe = False
 
+    #: Per-layer instances share one role: the Eq. 6 bound checker keys
+    #: on this label and matches layers by the per-instance ``name``.
+    stage_label = "dp.bottom_up"
+
     def __init__(
         self,
         dp: RowDP,
@@ -216,6 +220,8 @@ class _TopDownLayerJob(MapReduceJob):
 
     #: Reads the driver-side row store filled by the bottom-up pass.
     process_safe = False
+
+    stage_label = "dp.traceback"
 
     def __init__(
         self, dp: RowDP, layer: Layer, row_store: dict[tuple[int, int], list[MRow | None]]

@@ -23,6 +23,15 @@ from repro.mapreduce.parallel import ThreadPoolRuntime, ThreadSafeFailureInjecto
 from repro.mapreduce.process import ProcessPoolRuntime, ProcessSafeFailureInjector
 from repro.mapreduce.runtime import FailureInjector, JobResult, LocalRuntime
 from repro.mapreduce.serde import estimate_size, record_size
+from repro.mapreduce.tracing import (
+    TRACE_SCHEMA_VERSION,
+    JobSpan,
+    StageSpan,
+    TaskSpan,
+    Tracer,
+    canonical_trace,
+    job_emitted_bytes,
+)
 
 __all__ = [
     "ClusterConfig",
@@ -30,6 +39,7 @@ __all__ = [
     "FailureInjector",
     "InputSplit",
     "JobResult",
+    "JobSpan",
     "LocalRuntime",
     "MapReduceJob",
     "MemoryModel",
@@ -37,12 +47,18 @@ __all__ = [
     "ProcessSafeFailureInjector",
     "RUNTIMES",
     "SimulatedCluster",
+    "StageSpan",
+    "TaskSpan",
+    "TRACE_SCHEMA_VERSION",
     "ThreadPoolRuntime",
     "ThreadSafeFailureInjector",
+    "Tracer",
     "aligned_splits",
     "block_splits",
+    "canonical_trace",
     "estimate_size",
     "is_process_safe",
+    "job_emitted_bytes",
     "make_runtime",
     "makespan",
     "price_log",

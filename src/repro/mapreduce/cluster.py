@@ -38,6 +38,7 @@ from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.parallel import ThreadPoolRuntime
 from repro.mapreduce.process import ProcessPoolRuntime
 from repro.mapreduce.runtime import JobResult, LocalRuntime
+from repro.mapreduce.tracing import TRACE_SCHEMA_VERSION
 
 __all__ = [
     "ClusterConfig",
@@ -130,6 +131,22 @@ class RunLog:
             "jobs": self.job_count,
         }
 
+    def trace(self) -> dict[str, Any]:
+        """The run's trace document (``schema`` versioned, JSON-ready).
+
+        Assembled from the ``JobResult.trace`` spans the runtime attached
+        to every executed job — the same document a
+        :class:`~repro.mapreduce.tracing.Tracer` wired into the runtime
+        would produce, with the cluster's priced simulated times included.
+        Jobs without a span (hand-constructed results) are skipped.
+        """
+        spans = (job.trace for job in self.jobs)
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "driver_seconds": self.driver_seconds,
+            "jobs": [span.to_dict() for span in spans if span is not None],
+        }
+
 
 class SimulatedCluster:
     """Runs jobs through :class:`LocalRuntime` and prices their placement."""
@@ -166,8 +183,37 @@ class SimulatedCluster:
         """Execute ``job`` and append it (with simulated time) to the log."""
         result = self.runtime.run(job, splits)
         result.simulated_seconds = self.job_simulated_seconds(result)
+        self._price_trace(result)
         self.log.jobs.append(result)
         return result
+
+    def _price_trace(self, result: JobResult) -> None:
+        """Write the cost model's per-stage prices into the job's span.
+
+        The span's measured fields (wall seconds, bytes) come from the
+        runtime; the *simulated* seconds are a property of this cluster's
+        configuration, so they are filled in at pricing time.  The combine
+        stage is free — combining runs inside the map tasks, whose time it
+        is already part of.
+        """
+        span = result.trace
+        if span is None:
+            return
+        cfg = self.config
+        span.simulated_seconds = result.simulated_seconds
+        prices = {
+            "map": makespan(
+                [t + cfg.task_startup_seconds for t in result.map_task_seconds],
+                cfg.map_slots,
+            ),
+            "shuffle": result.shuffle_bytes / cfg.shuffle_bytes_per_second,
+            "reduce": makespan(
+                [t + cfg.task_startup_seconds for t in result.reduce_task_seconds],
+                cfg.reduce_slots,
+            ),
+        }
+        for stage in span.stages:
+            stage.simulated_seconds = prices.get(stage.name, 0.0)
 
     @contextmanager
     def driver(self) -> Iterator[None]:

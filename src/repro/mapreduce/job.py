@@ -54,6 +54,14 @@ class MapReduceJob:
     #: process runtime and the PS001/PS002 lint rules read the same flag.
     process_safe: ClassVar[bool] = True
 
+    #: Algorithm-stage label for traces, e.g. ``"dgreedy.histograms"`` —
+    #: the stable identity of the *role* a job plays in its algorithm,
+    #: where :attr:`name` may carry per-instance detail (layer index,
+    #: round number).  Every concrete job must declare one (meta-tested);
+    #: the bound checkers in :mod:`repro.observe.bounds` select stages by
+    #: this label.
+    stage_label: ClassVar[str] = ""
+
     def map(self, split: InputSplit) -> Iterable[tuple[Any, Any]]:
         """Process one input split; yield ``(key, value)`` pairs."""
         raise NotImplementedError

@@ -30,9 +30,11 @@ from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import (
     FailureInjector,
     LocalRuntime,
+    MapTaskResult,
     run_map_task,
     run_reduce_task,
 )
+from repro.mapreduce.tracing import TaskSpan, Tracer
 
 __all__ = ["ThreadPoolRuntime", "ThreadSafeFailureInjector", "default_worker_count"]
 
@@ -72,18 +74,19 @@ class ThreadPoolRuntime(LocalRuntime):
         self,
         max_workers: int | None = None,
         failure_injector: FailureInjector | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if max_workers is None:
             max_workers = default_worker_count()
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
-        super().__init__(failure_injector)
+        super().__init__(failure_injector, tracer)
         self.max_workers = max_workers
 
     def _execute_map_tasks(
         self, job: MapReduceJob, splits: list[InputSplit]
-    ) -> list[tuple[list[tuple[Any, Any]], float]]:
-        def map_task(split: InputSplit) -> tuple[list[tuple[Any, Any]], float]:
+    ) -> list[tuple[MapTaskResult, TaskSpan]]:
+        def map_task(split: InputSplit) -> tuple[MapTaskResult, TaskSpan]:
             return self._run_attempts(
                 lambda: run_map_task(job, split), f"{job.name}/map-{split.split_id}"
             )
@@ -93,10 +96,10 @@ class ThreadPoolRuntime(LocalRuntime):
 
     def _execute_reduce_tasks(
         self, job: MapReduceJob, partitions: list[list[tuple[Any, Any]]]
-    ) -> list[tuple[list[tuple[Any, Any]], float]]:
+    ) -> list[tuple[list[tuple[Any, Any]], TaskSpan]]:
         def reduce_task(
             indexed_partition: tuple[int, list[tuple[Any, Any]]],
-        ) -> tuple[list[tuple[Any, Any]], float]:
+        ) -> tuple[list[tuple[Any, Any]], TaskSpan]:
             reducer_id, partition = indexed_partition
             return self._run_attempts(
                 lambda: run_reduce_task(job, partition),

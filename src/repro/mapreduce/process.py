@@ -31,17 +31,19 @@ from __future__ import annotations
 import os
 import zlib
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable
+from typing import Any
 
 from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.job import MapReduceJob, is_process_safe
 from repro.mapreduce.runtime import (
     FailureInjector,
     LocalRuntime,
+    MapTaskResult,
     run_map_task,
     run_reduce_task,
     run_task_attempts,
 )
+from repro.mapreduce.tracing import TaskSpan, Tracer
 
 __all__ = ["ProcessPoolRuntime", "ProcessSafeFailureInjector", "default_process_count"]
 
@@ -74,6 +76,16 @@ class ProcessSafeFailureInjector(FailureInjector):
             self.probability, seed=task_seed, max_attempts=self.max_attempts
         )
 
+    def resolve(self, task_label: str) -> FailureInjector:
+        """Per-label derivation — the hook ``run_task_attempts`` calls.
+
+        Because the resolution happens inside the shared task-attempt
+        path, *every* runtime (local, thread, process, and the in-process
+        fallback for driver-state jobs) fails exactly the same attempts
+        when given the same ``(probability, seed)``.
+        """
+        return self.for_task(task_label)
+
     def attempt_fails(self) -> bool:  # pragma: no cover - guard
         raise TypeError(
             "ProcessSafeFailureInjector draws per task; use for_task(label)"
@@ -82,15 +94,21 @@ class ProcessSafeFailureInjector(FailureInjector):
 
 def _run_map_task_in_worker(
     args: tuple[MapReduceJob, InputSplit, str, FailureInjector | None],
-) -> tuple[Any, float]:
-    """Module-level worker body (bound methods don't pickle)."""
+) -> tuple[MapTaskResult, TaskSpan]:
+    """Module-level worker body (bound methods don't pickle).
+
+    The returned :class:`~repro.mapreduce.tracing.TaskSpan` is the span
+    fragment the driver stitches into the job's trace — built by the same
+    ``run_task_attempts`` every runtime uses, so the fragment's shape is
+    identical whether the task ran here or in the driver.
+    """
     job, split, task_label, injector = args
     return run_task_attempts(lambda: run_map_task(job, split), task_label, injector)
 
 
 def _run_reduce_task_in_worker(
     args: tuple[MapReduceJob, list[tuple[Any, Any]], str, FailureInjector | None],
-) -> tuple[Any, float]:
+) -> tuple[list[tuple[Any, Any]], TaskSpan]:
     job, partition, task_label, injector = args
     return run_task_attempts(
         lambda: run_reduce_task(job, partition), task_label, injector
@@ -111,6 +129,7 @@ class ProcessPoolRuntime(LocalRuntime):
         self,
         max_workers: int | None = None,
         failure_injector: ProcessSafeFailureInjector | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if max_workers is None:
             max_workers = default_process_count()
@@ -123,30 +142,20 @@ class ProcessPoolRuntime(LocalRuntime):
                 "ProcessPoolRuntime needs a ProcessSafeFailureInjector: a "
                 "shared-RNG injector's draw order would depend on scheduling"
             )
-        super().__init__(failure_injector)
+        super().__init__(failure_injector, tracer)
         self.max_workers = max_workers
 
-    def _run_attempts(
-        self, task_callable: Callable[[], Any], task_label: str
-    ) -> tuple[Any, float]:
-        # In-process fallback path (process_safe=False jobs): derive the
-        # same per-label injector the workers would use, keeping failure
-        # patterns identical whichever side executes the task.
-        injector = (
-            self.failure_injector.for_task(task_label)
-            if self.failure_injector
-            else None
-        )
-        return run_task_attempts(task_callable, task_label, injector)
-
     def _task_injector(self, task_label: str) -> FailureInjector | None:
+        # Workers receive a plain per-label injector rather than the
+        # process-safe parent: deriving driver-side keeps the pickled
+        # payload free of the parent's RNG state.
         if self.failure_injector is None:
             return None
-        return self.failure_injector.for_task(task_label)
+        return self.failure_injector.resolve(task_label)
 
     def _execute_map_tasks(
         self, job: MapReduceJob, splits: list[InputSplit]
-    ) -> list[tuple[list[tuple[Any, Any]], float]]:
+    ) -> list[tuple[MapTaskResult, TaskSpan]]:
         if not is_process_safe(job):
             return super()._execute_map_tasks(job, splits)
         work = [
@@ -159,7 +168,7 @@ class ProcessPoolRuntime(LocalRuntime):
 
     def _execute_reduce_tasks(
         self, job: MapReduceJob, partitions: list[list[tuple[Any, Any]]]
-    ) -> list[tuple[list[tuple[Any, Any]], float]]:
+    ) -> list[tuple[list[tuple[Any, Any]], TaskSpan]]:
         if not is_process_safe(job):
             return super()._execute_reduce_tasks(job, partitions)
         work = [

@@ -9,11 +9,16 @@ scaling *shapes* of a 9-node Hadoop deployment (see DESIGN.md §3).
 
 :class:`LocalRuntime` is also the template the concurrent runtimes extend:
 :meth:`LocalRuntime.run` owns everything order-sensitive (counters, shuffle
-accounting, partitioning, split-order collection) and delegates only the
-*execution* of the task batch to :meth:`LocalRuntime._execute_map_tasks` /
+accounting, partitioning, split-order collection, span stitching) and
+delegates only the *execution* of the task batch to
+:meth:`LocalRuntime._execute_map_tasks` /
 :meth:`LocalRuntime._execute_reduce_tasks`.  ``ThreadPoolRuntime`` and
 ``ProcessPoolRuntime`` override just those two hooks, which is how all
-three runtimes stay byte-identical on deterministic jobs (tested).
+three runtimes stay byte-identical on deterministic jobs — and emit
+schema-identical traces (:mod:`repro.mapreduce.tracing`): every task
+attempt is timed inside :func:`run_task_attempts`, which returns a
+picklable :class:`~repro.mapreduce.tracing.TaskSpan` fragment the driver
+assembles into the job's span tree.
 
 The per-task work itself lives in module-level functions
 (:func:`run_map_task`, :func:`run_reduce_task`, :func:`run_task_attempts`)
@@ -22,7 +27,9 @@ runtime holding live state would not pickle.
 
 Failure injection (`FailureInjector`) emulates task attempts: a failed
 attempt is retried up to ``max_attempts`` times, as Hadoop's ApplicationMaster
-would, and the wasted attempt time is charged to the task.
+would, and the wasted attempt time is charged to the task.  Retried
+attempts appear as child :class:`~repro.mapreduce.tracing.AttemptSpan`
+records of their task span, never as duplicate tasks.
 """
 
 from __future__ import annotations
@@ -39,11 +46,19 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.serde import record_size
+from repro.mapreduce.tracing import (
+    AttemptSpan,
+    JobSpan,
+    StageSpan,
+    TaskSpan,
+    Tracer,
+)
 
 __all__ = [
     "FailureInjector",
     "JobResult",
     "LocalRuntime",
+    "MapTaskResult",
     "run_map_task",
     "run_reduce_task",
     "run_task_attempts",
@@ -65,6 +80,17 @@ class FailureInjector:
         """Decide whether the next task attempt fails."""
         return bool(self._rng.random() < self.probability)
 
+    def resolve(self, task_label: str) -> "FailureInjector":
+        """The injector to use for one task.
+
+        The base class shares one RNG across tasks (draws in execution
+        order — fine for sequential runtimes).  Scheduling-independent
+        subclasses (:class:`~repro.mapreduce.process.ProcessSafeFailureInjector`)
+        override this to derive a per-label injector instead, making the
+        failure pattern identical on every runtime.
+        """
+        return self
+
 
 @dataclass
 class JobResult:
@@ -81,6 +107,9 @@ class JobResult:
     simulated_seconds: float = 0.0
     #: Per-reducer outputs, in partition order (useful for debugging).
     reducer_outputs: list[list[tuple[Any, Any]]] = field(default_factory=list)
+    #: The job's span tree (always built by the runtime; None only on
+    #: hand-constructed results, e.g. in cost-model unit tests).
+    trace: JobSpan | None = None
 
 
 def _hashable(key: Any) -> Any:
@@ -106,12 +135,33 @@ def apply_combiner(
     return combined
 
 
-def run_map_task(job: MapReduceJob, split: InputSplit) -> list[tuple[Any, Any]]:
+@dataclass
+class MapTaskResult:
+    """One map task's output plus its pre-combine emission accounting.
+
+    ``map_records``/``map_bytes`` describe what the *map function* emitted
+    before the combiner ran — the combine stage's input.  When no combiner
+    runs, ``map_bytes`` is None and the driver reuses the shuffle-byte
+    walk it performs anyway (identical by definition), keeping the
+    no-combiner hot path free of a second serialization pass.
+    """
+
+    output: list[tuple[Any, Any]]
+    map_records: int
+    map_bytes: int | None
+
+
+def run_map_task(job: MapReduceJob, split: InputSplit) -> MapTaskResult:
     """One map task: map a split, then combine locally if configured."""
     output = list(job.map(split))
-    if job.use_combiner:
-        output = apply_combiner(job, output)
-    return output
+    if not job.use_combiner:
+        return MapTaskResult(output=output, map_records=len(output), map_bytes=None)
+    # Serializing the pre-combine emission is part of the task's real
+    # work on Hadoop (map output is materialized before the combiner),
+    # so measuring it inside the timed region is faithful.
+    map_bytes = sum(record_size(key, value) for key, value in output)
+    combined = apply_combiner(job, output)
+    return MapTaskResult(output=combined, map_records=len(output), map_bytes=map_bytes)
 
 
 def run_reduce_task(
@@ -130,40 +180,66 @@ def run_task_attempts(
     task_callable: Callable[[], Any],
     task_label: str,
     injector: FailureInjector | None = None,
-) -> tuple[Any, float]:
-    """Run one task with retries; return (result, total attempt seconds)."""
+) -> tuple[Any, TaskSpan]:
+    """Run one task with retries; return ``(result, task span)``.
+
+    The span records every attempt (failed ones included) so traces show
+    retries as child spans.  Its ``wall_seconds`` — the sum over attempts
+    — is the task time the cluster model prices, exactly as before.
+    """
+    resolved = injector.resolve(task_label) if injector is not None else None
+    span = TaskSpan(name=task_label)
     attempts = 0
-    total_seconds = 0.0
-    max_attempts = injector.max_attempts if injector else 1
+    max_attempts = resolved.max_attempts if resolved else 1
     while True:
         attempts += 1
         start = time.perf_counter()
-        failed = injector is not None and injector.attempt_fails()
+        failed = resolved is not None and resolved.attempt_fails()
         if not failed:
             result = task_callable()
-            total_seconds += time.perf_counter() - start
-            return result, total_seconds
+            span.attempts.append(
+                AttemptSpan(
+                    index=attempts,
+                    wall_seconds=time.perf_counter() - start,
+                    failed=False,
+                )
+            )
+            return result, span
         # A failed attempt still burns (a fraction of) its runtime.
-        total_seconds += time.perf_counter() - start
+        span.attempts.append(
+            AttemptSpan(
+                index=attempts, wall_seconds=time.perf_counter() - start, failed=True
+            )
+        )
         if attempts >= max_attempts:
             raise JobFailedError(f"task {task_label} failed after {attempts} attempts")
 
 
 class LocalRuntime:
-    """Runs jobs in-process with per-task timing and attempt retries."""
+    """Runs jobs in-process with per-task timing and attempt retries.
 
-    def __init__(self, failure_injector: FailureInjector | None = None) -> None:
+    Pass a :class:`~repro.mapreduce.tracing.Tracer` to collect every job
+    span the runtime produces; a :class:`~repro.mapreduce.cluster.RunLog`
+    offers the same capture at the cluster level without one.
+    """
+
+    def __init__(
+        self,
+        failure_injector: FailureInjector | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.failure_injector = failure_injector
+        self.tracer = tracer
 
     def _run_attempts(
         self, task_callable: Callable[[], Any], task_label: str
-    ) -> tuple[Any, float]:
+    ) -> tuple[Any, TaskSpan]:
         return run_task_attempts(task_callable, task_label, self.failure_injector)
 
     def _execute_map_tasks(
         self, job: MapReduceJob, splits: list[InputSplit]
-    ) -> list[tuple[list[tuple[Any, Any]], float]]:
-        """Run every map task; return ``(output, seconds)`` in split order."""
+    ) -> list[tuple[MapTaskResult, TaskSpan]]:
+        """Run every map task; return ``(result, span)`` in split order."""
         return [
             self._run_attempts(
                 lambda split=split: run_map_task(job, split),
@@ -174,8 +250,8 @@ class LocalRuntime:
 
     def _execute_reduce_tasks(
         self, job: MapReduceJob, partitions: list[list[tuple[Any, Any]]]
-    ) -> list[tuple[list[tuple[Any, Any]], float]]:
-        """Run every reduce task; return ``(output, seconds)`` in partition order."""
+    ) -> list[tuple[list[tuple[Any, Any]], TaskSpan]]:
+        """Run every reduce task; return ``(output, span)`` in partition order."""
         return [
             self._run_attempts(
                 lambda partition=partition: run_reduce_task(job, partition),
@@ -189,28 +265,74 @@ class LocalRuntime:
         counters = Counters()
         map_results = self._execute_map_tasks(job, splits)
 
-        map_task_seconds = [seconds for _, seconds in map_results]
+        map_task_seconds = [span.wall_seconds for _, span in map_results]
+        map_spans: list[TaskSpan] = []
         all_map_output: list[tuple[Any, Any]] = []
-        shuffle_bytes = 0
-        for split, (output, _) in zip(splits, map_results):
+        input_records = 0
+        map_records = 0  # pre-combine emission
+        map_bytes = 0
+        shuffle_bytes = 0  # post-combine: what actually crosses the wire
+        for split, (task, span) in zip(splits, map_results):
+            task_bytes = sum(record_size(key, value) for key, value in task.output)
+            input_records += len(split)
             counters.increment("map.input_records", len(split))
-            counters.increment("map.output_records", len(output))
-            for key, value in output:
-                shuffle_bytes += record_size(key, value)
-            all_map_output.extend(output)
+            counters.increment("map.output_records", len(task.output))
+            if job.use_combiner:
+                counters.increment("combine.input_records", task.map_records)
+                counters.increment("combine.output_records", len(task.output))
+            span.records_out = task.map_records
+            span.bytes_out = task.map_bytes if task.map_bytes is not None else task_bytes
+            map_records += task.map_records
+            map_bytes += span.bytes_out
+            shuffle_bytes += task_bytes
+            map_spans.append(span)
+            all_map_output.extend(task.output)
         counters.increment("shuffle.bytes", shuffle_bytes)
+
+        stages = [
+            StageSpan(
+                name="map",
+                records_in=input_records,
+                records_out=map_records,
+                bytes_out=map_bytes,
+                tasks=map_spans,
+            )
+        ]
+        if job.use_combiner:
+            stages.append(
+                StageSpan(
+                    name="combine",
+                    records_in=map_records,
+                    records_out=len(all_map_output),
+                    bytes_out=shuffle_bytes,
+                )
+            )
+        # The shuffle stage always carries the wire volume: shuffled bytes
+        # for reduce jobs, HDFS-written output bytes for map-only jobs.
+        stages.append(
+            StageSpan(
+                name="shuffle",
+                records_in=len(all_map_output),
+                records_out=len(all_map_output),
+                bytes_out=shuffle_bytes,
+            )
+        )
 
         if job.num_reducers == 0:
             # Map-only jobs still pay to write their output (HDFS), so the
             # emitted bytes count as communication volume.
-            return JobResult(
-                job_name=job.name,
-                output=all_map_output,
-                counters=counters,
-                map_task_seconds=map_task_seconds,
-                reduce_task_seconds=[],
-                shuffle_bytes=shuffle_bytes,
-                map_output_records=len(all_map_output),
+            return self._finish(
+                job,
+                JobResult(
+                    job_name=job.name,
+                    output=all_map_output,
+                    counters=counters,
+                    map_task_seconds=map_task_seconds,
+                    reduce_task_seconds=[],
+                    shuffle_bytes=shuffle_bytes,
+                    map_output_records=len(all_map_output),
+                ),
+                stages,
             )
 
         partitions: list[list[tuple[Any, Any]]] = [[] for _ in range(job.num_reducers)]
@@ -218,21 +340,49 @@ class LocalRuntime:
             partitions[job.partition(key, job.num_reducers)].append((key, value))
 
         reduce_results = self._execute_reduce_tasks(job, partitions)
-        reduce_task_seconds = [seconds for _, seconds in reduce_results]
+        reduce_task_seconds = [span.wall_seconds for _, span in reduce_results]
         reducer_outputs = [output for output, _ in reduce_results]
+        reduce_spans: list[TaskSpan] = []
         final_output: list[tuple[Any, Any]] = []
-        for partition, output in zip(partitions, reducer_outputs):
+        reduce_bytes = 0
+        for partition, (output, span) in zip(partitions, reduce_results):
             counters.increment("reduce.input_records", len(partition))
             counters.increment("reduce.output_records", len(output))
+            span.records_out = len(output)
+            span.bytes_out = sum(record_size(key, value) for key, value in output)
+            reduce_bytes += span.bytes_out
+            reduce_spans.append(span)
             final_output.extend(output)
-
-        return JobResult(
-            job_name=job.name,
-            output=final_output,
-            counters=counters,
-            map_task_seconds=map_task_seconds,
-            reduce_task_seconds=reduce_task_seconds,
-            shuffle_bytes=shuffle_bytes,
-            map_output_records=len(all_map_output),
-            reducer_outputs=reducer_outputs,
+        stages.append(
+            StageSpan(
+                name="reduce",
+                records_in=len(all_map_output),
+                records_out=len(final_output),
+                bytes_out=reduce_bytes,
+                tasks=reduce_spans,
+            )
         )
+
+        return self._finish(
+            job,
+            JobResult(
+                job_name=job.name,
+                output=final_output,
+                counters=counters,
+                map_task_seconds=map_task_seconds,
+                reduce_task_seconds=reduce_task_seconds,
+                shuffle_bytes=shuffle_bytes,
+                map_output_records=len(all_map_output),
+                reducer_outputs=reducer_outputs,
+            ),
+            stages,
+        )
+
+    def _finish(
+        self, job: MapReduceJob, result: JobResult, stages: list[StageSpan]
+    ) -> JobResult:
+        """Attach the span tree to the result and record it with the tracer."""
+        result.trace = JobSpan(name=job.name, stage_label=job.stage_label, stages=stages)
+        if self.tracer is not None:
+            self.tracer.record(result.trace)
+        return result

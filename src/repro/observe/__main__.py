@@ -1,0 +1,34 @@
+"""CLI: summarize a trace JSON written by ``repro ... --trace out.json``.
+
+Usage::
+
+    python -m repro.observe trace.json [more.json ...]
+
+Prints the per-stage table for each trace document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.observe.report import render_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe",
+        description="Summarize trace JSON documents written by the CLI's --trace flag.",
+    )
+    parser.add_argument("traces", nargs="+", type=Path, help="trace JSON file(s)")
+    args = parser.parse_args(argv)
+    for path in args.traces:
+        trace = json.loads(path.read_text())
+        print(f"== {path} ==")
+        print(render_trace(trace))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,229 @@
+"""Analytical communication bounds, checked against measured traces.
+
+The paper's scalability argument is analytical: each stage of the layered
+DP ships ``O(N * max|M[j]| / 2^h)`` bytes (Eq. 6), and DGreedyAbs's
+error-bucketed histograms bound what a base sub-tree may emit.  This
+module turns both arguments into *checkable predictions*: from the run
+parameters alone (no execution) it computes a per-stage byte budget under
+the serde model, and :func:`check_dmhaarspace_trace` /
+:func:`check_dgreedy_trace` assert a measured trace
+(:meth:`repro.mapreduce.cluster.RunLog.trace`) stays within it.
+
+Eq. 6 derivation, concretized to our serde model
+------------------------------------------------
+
+A layer of height ``h`` over an ``N``-point tree has ``N / 2^h``
+sub-trees at the bottom (fewer above — Eq. 4), and each bottom-up layer
+job emits exactly **one record per sub-tree**: ``(parent, (root, M-row,
+mean))``, i.e. a fixed per-record overhead plus one serialized
+:class:`~repro.algos.minhaarspace.MRow`.  A row over incoming values
+``v`` with ``|v - data| <= epsilon`` on a ``delta`` grid spans at most
+``floor(2*epsilon/delta) + 2`` grid points, and
+:func:`~repro.algos.minhaarspace.combine_rows` only ever *halves and
+intersects* domains, so no row in the tree is ever wider than that leaf
+worst case.  Hence per layer::
+
+    bytes(layer) <= |subtrees(layer)| * (OVERHEAD + MRow(W_max) bytes)
+    W_max = floor(2*epsilon/delta') + 2,  delta' = effective_delta(...)
+
+which is exactly Eq. 6's ``O(N * max|M[j]| / 2^h)`` with the constants
+filled in.  The checker recomputes ``delta'`` the same way
+:func:`~repro.core.dp_framework.dm_haar_space` does, so the prediction
+uses the grid the run actually used.
+
+DGreedyAbs histogram bound
+--------------------------
+
+Job 1 emits, per (candidate, base sub-tree), at most one bucket record
+per greedy removal plus one final-error record.  A base sub-tree of
+``s`` leaves has at most ``s - 1`` removable detail coefficients (the
+average slot belongs to the root sub-tree), and there are at most
+``min(R, B) + 1`` candidates over ``R = N / s`` sub-trees, so::
+
+    bytes(job 1) <= (min(R, B) + 1) * R * ((s - 1) * hist_rec + final_rec)
+
+Record sizes are taken from :func:`repro.mapreduce.serde.record_size` on
+template records, so the bound tracks the serde model by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.algos.minhaarspace import MRow, effective_delta
+from repro.core.partitioning import Layer, dp_layers, root_base_partition
+from repro.exceptions import InvalidInputError
+from repro.mapreduce.serde import record_size
+from repro.mapreduce.tracing import job_emitted_bytes
+
+__all__ = [
+    "BoundCheck",
+    "LayerBound",
+    "check_dgreedy_trace",
+    "check_dmhaarspace_trace",
+    "dgreedy_histogram_bound",
+    "dmhaarspace_layer_bounds",
+    "max_row_entries",
+]
+
+#: Serde bytes of one bottom-up layer record beyond its M-row payload:
+#: key (parent int) + value-tuple framing + sub-tree root int + mean float.
+_LAYER_RECORD_OVERHEAD = record_size(0, (0, 0.0))
+
+
+def max_row_entries(epsilon: float, delta: float, n: int) -> int:
+    """Worst-case entry count of any M-row in an ``(epsilon, delta)`` run.
+
+    A leaf row spans the grid points within ``epsilon`` of its value —
+    at most ``floor(2*epsilon/delta') + 2`` of them (both endpoints can
+    land on the grid) — and combining only shrinks relative width, so
+    this caps every row of the tree.  ``delta`` is clamped through
+    :func:`~repro.algos.minhaarspace.effective_delta` exactly as the DP
+    itself clamps it.
+    """
+    clamped = effective_delta(epsilon, delta, n)
+    return int(math.floor(2.0 * epsilon / clamped)) + 2
+
+
+@dataclass(frozen=True)
+class LayerBound:
+    """The Eq. 6 prediction for one bottom-up layer job."""
+
+    index: int
+    job_name: str
+    subtrees: int
+    #: Smallest possible emission: one record per sub-tree, 1-entry rows.
+    bytes_floor: int
+    #: Eq. 6 budget: one record per sub-tree, worst-case-width rows.
+    bytes_bound: int
+
+
+def dmhaarspace_layer_bounds(
+    n: int, subtree_leaves: int, epsilon: float, delta: float
+) -> list[LayerBound]:
+    """Eq. 6 per-layer byte budgets for a :func:`dm_haar_space` run.
+
+    Mirrors :class:`~repro.core.dp_framework.LayeredDPDriver`: the same
+    layer decomposition (height ``min(log2 subtree_leaves, log2 N)``) and
+    the same effective ``delta``, so bound ``i`` lines up with the traced
+    job ``dp-layer-i``.
+    """
+    if n < 2:
+        raise InvalidInputError("Eq. 6 bounds need at least a 2-point tree")
+    height = min(subtree_leaves.bit_length() - 1, n.bit_length() - 1)
+    entries = max_row_entries(epsilon, delta, n)
+    per_record_bound = _LAYER_RECORD_OVERHEAD + MRow.sized(entries)
+    per_record_floor = _LAYER_RECORD_OVERHEAD + MRow.sized(1)
+    bounds = []
+    for layer in dp_layers(n, height):
+        count = len(layer.subtrees)
+        bounds.append(
+            LayerBound(
+                index=layer.index,
+                job_name=f"dp-layer-{layer.index}",
+                subtrees=count,
+                bytes_floor=count * per_record_floor,
+                bytes_bound=count * per_record_bound,
+            )
+        )
+    return bounds
+
+
+def dgreedy_histogram_bound(n: int, base_leaves: int, budget: int) -> int:
+    """Histogram-compression byte budget for DGreedyAbs's job 1.
+
+    See the module docstring for the derivation; record sizes come from
+    the serde model applied to template records, so the bound and the
+    measurement can never drift apart silently.
+    """
+    r, _ = root_base_partition(n, base_leaves)
+    candidates = min(r, budget) + 1
+    removals_per_subtree = base_leaves - 1
+    hist_record = record_size(("hist", 0, 0, 0.0), (0, 0.0))
+    final_record = record_size(("final", 0, 0), 0.0)
+    return candidates * r * (removals_per_subtree * hist_record + final_record)
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """One stage's measured bytes against its analytical budget."""
+
+    job_name: str
+    stage_label: str
+    measured_bytes: int
+    bound_bytes: int
+
+    @property
+    def ok(self) -> bool:
+        return self.measured_bytes <= self.bound_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Measured bytes as a fraction of the budget (diagnostic)."""
+        if self.bound_bytes == 0:
+            return math.inf if self.measured_bytes else 0.0
+        return self.measured_bytes / self.bound_bytes
+
+
+def _jobs_by_label(trace: dict[str, Any], stage_label: str) -> list[dict[str, Any]]:
+    return [
+        job for job in trace.get("jobs", []) if job.get("stage_label") == stage_label
+    ]
+
+
+def check_dmhaarspace_trace(
+    trace: dict[str, Any], n: int, subtree_leaves: int, epsilon: float, delta: float
+) -> list[BoundCheck]:
+    """Check every traced bottom-up DP layer against its Eq. 6 budget.
+
+    Returns one :class:`BoundCheck` per ``dp.bottom_up`` job in the
+    trace.  A binary-search driver runs several bottom-up passes per
+    invocation; each pass's layer jobs are checked against the bound for
+    their layer index (matched by job name).  Raises when the trace has
+    no bottom-up jobs — a silent pass on an empty selection would make
+    the assertion meaningless.
+    """
+    by_name = {
+        bound.job_name: bound
+        for bound in dmhaarspace_layer_bounds(n, subtree_leaves, epsilon, delta)
+    }
+    jobs = _jobs_by_label(trace, "dp.bottom_up")
+    if not jobs:
+        raise InvalidInputError("trace contains no dp.bottom_up jobs to check")
+    checks = []
+    for job in jobs:
+        name = str(job.get("name", ""))
+        if name not in by_name:
+            raise InvalidInputError(
+                f"traced job {name!r} matches no layer of an N={n} decomposition"
+            )
+        checks.append(
+            BoundCheck(
+                job_name=name,
+                stage_label="dp.bottom_up",
+                measured_bytes=job_emitted_bytes(job),
+                bound_bytes=by_name[name].bytes_bound,
+            )
+        )
+    return checks
+
+
+def check_dgreedy_trace(
+    trace: dict[str, Any], n: int, base_leaves: int, budget: int
+) -> list[BoundCheck]:
+    """Check DGreedyAbs's histogram job(s) against the emission budget."""
+    jobs = _jobs_by_label(trace, "dgreedy.histograms")
+    if not jobs:
+        raise InvalidInputError("trace contains no dgreedy.histograms jobs to check")
+    bound = dgreedy_histogram_bound(n, base_leaves, budget)
+    return [
+        BoundCheck(
+            job_name=str(job.get("name", "")),
+            stage_label="dgreedy.histograms",
+            measured_bytes=job_emitted_bytes(job),
+            bound_bytes=bound,
+        )
+        for job in jobs
+    ]

@@ -105,6 +105,24 @@ def test_every_concrete_job_is_classified():
     )
 
 
+def test_every_concrete_job_declares_a_stage_label():
+    # The tracing subsystem groups jobs by their algorithm role; a job
+    # without a stage label is invisible to the bound checkers and the
+    # per-stage communication roll-ups, so declaring one is mandatory.
+    concrete = {
+        cls for cls in _concrete_job_classes() if cls.__module__.startswith("repro.")
+    }
+    unlabeled = sorted(
+        cls.__qualname__
+        for cls in concrete
+        if not getattr(cls, "stage_label", "")
+    )
+    assert not unlabeled, (
+        "every concrete MapReduceJob must declare a non-empty stage_label "
+        f"ClassVar (see repro.mapreduce.job): {unlabeled}"
+    )
+
+
 @pytest.mark.parametrize(
     "cls", sorted(PROCESS_SAFE_INSTANCES, key=lambda c: c.__qualname__)
 )
