@@ -1,0 +1,184 @@
+"""External-shuffle benchmark: columnar codec throughput + spill overhead.
+
+Two measurements back the out-of-core path's perf story:
+
+* **Codec throughput** — :func:`repro.mapreduce.serde.encode_batch` /
+  :func:`decode_batch` against the per-record pickle framing a naive
+  spill format would use, over two batch shapes that bracket real
+  shuffle traffic: ``numeric`` (homogeneous ``(int, float)`` records,
+  the shape CON/SendCoef and the DP jobs shuffle — the codec's best
+  case) and ``mixed`` (DGreedyAbs's interleaved ``hist``/``final``
+  tuple records — its worst case, where per-record python overhead
+  can't be fully columnarized; the codec trades a modest CPU cost for
+  a substantially smaller spill file, which is what matters once runs
+  hit disk).  The speedup ratio, not absolute seconds, is what the
+  regression guard pins — ratios on the same machine transfer across
+  hosts.
+* **End-to-end spill overhead** — a DGreedyAbs build under the external
+  shuffle with a buffer small enough to force multi-run merges, divided
+  by the same build on the in-memory shuffle.  This is the price of
+  bounding driver memory; the guard keeps it from silently exploding.
+
+Results land in ``BENCH_shuffle.json`` at the repo root (written by
+``benchmarks/bench_shuffle.py``) — the baseline future PRs diff against.
+Timing discipline matches :mod:`repro.bench.dp_kernel`: contenders are
+interleaved within each repetition and the minimum over repetitions kept.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.core.dgreedy import d_greedy_abs
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.serde import decode_batch, encode_batch
+from repro.mapreduce.shuffle import ShuffleConfig
+
+__all__ = [
+    "SHUFFLE_BATCH_SIZES",
+    "bench_codec_batches",
+    "bench_external_overhead",
+    "numeric_shaped_records",
+    "shuffle_shaped_records",
+]
+
+#: Default batch-size grid, in records.  The small end is a single spill
+#: of one partition buffer; the large end is a full run file at scale.
+SHUFFLE_BATCH_SIZES = [1 << 10, 1 << 13, 1 << 16]
+
+
+def shuffle_shaped_records(count: int, seed: int = 7) -> list[tuple[Any, Any]]:
+    """A reproducible batch shaped like DGreedyAbs's job-1 shuffle traffic.
+
+    Interleaves 4-tuple ``hist`` keys (with ``(count, cut_error)``
+    values) and 3-tuple ``final`` keys (float values) in a ~15:1 ratio,
+    matching one histogram record per removal plus one final record per
+    (candidate, sub-tree).
+    """
+    rng = np.random.default_rng(seed)
+    records: list[tuple[Any, Any]] = []
+    for index in range(count):
+        candidate = int(rng.integers(0, 16))
+        subtree = int(rng.integers(0, 64))
+        if index % 16 == 15:
+            records.append((("final", candidate, subtree), float(rng.uniform(0, 500))))
+        else:
+            records.append(
+                (
+                    ("hist", candidate, subtree, float(rng.uniform(0, 500))),
+                    (int(rng.integers(1, 30)), float(rng.uniform(0, 500))),
+                )
+            )
+    return records
+
+
+def numeric_shaped_records(count: int, seed: int = 7) -> list[tuple[Any, Any]]:
+    """A homogeneous ``(int key, float value)`` batch.
+
+    The shape CON/SendCoef and the DP jobs shuffle (coefficient index to
+    value); both columns encode as single typed arrays, so this is the
+    codec's best case.
+    """
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(0, 500, size=count)
+    return [(int(index), float(value)) for index, value in enumerate(values)]
+
+
+def _pickle_per_record(records: list[tuple[Any, Any]]) -> list[bytes]:
+    return [pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL) for record in records]
+
+
+def _unpickle_per_record(blobs: list[bytes]) -> list[tuple[Any, Any]]:
+    return [pickle.loads(blob) for blob in blobs]
+
+
+_SHAPES = {
+    "numeric": numeric_shaped_records,
+    "mixed": shuffle_shaped_records,
+}
+
+
+def bench_codec_batches(
+    sizes: Sequence[int] | None = None, reps: int = 3, seed: int = 7
+) -> list[dict[str, Any]]:
+    """Benchmark the columnar codec vs per-record pickle.
+
+    Returns one dict per ``(shape, size)`` pair, covering the codec's
+    best case (``numeric``) and worst case (``mixed``).
+    """
+    if sizes is None:
+        sizes = SHUFFLE_BATCH_SIZES
+    rows = []
+    for shape, make_records in _SHAPES.items():
+        for size in sizes:
+            records = make_records(size, seed)
+            columnar_seconds = pickle_seconds = float("inf")
+            for _ in range(reps):
+                start = time.perf_counter()
+                decoded = decode_batch(encode_batch(records))
+                columnar_seconds = min(columnar_seconds, time.perf_counter() - start)
+                start = time.perf_counter()
+                reference = _unpickle_per_record(_pickle_per_record(records))
+                pickle_seconds = min(pickle_seconds, time.perf_counter() - start)
+            assert decoded == records and reference == records  # keep both honest
+            encoded_bytes = len(encode_batch(records))
+            pickled_bytes = sum(len(blob) for blob in _pickle_per_record(records))
+            rows.append(
+                {
+                    "shape": shape,
+                    "records": size,
+                    "columnar_seconds": columnar_seconds,
+                    "pickle_seconds": pickle_seconds,
+                    "speedup": pickle_seconds / columnar_seconds,
+                    "columnar_bytes": encoded_bytes,
+                    "pickle_bytes": pickled_bytes,
+                    "bytes_ratio": pickled_bytes / encoded_bytes,
+                }
+            )
+    return rows
+
+
+def bench_external_overhead(
+    n: int = 1 << 15, reps: int = 3, seed: int = 7
+) -> dict[str, Any]:
+    """End-to-end DGreedyAbs wall-clock: external (forced spills) vs memory.
+
+    The buffer is 1/16 of the input's on-disk size, the acceptance
+    configuration's cap, so every reducer merges multiple runs.
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 500, size=n).astype(np.float64)
+    budget = max(16, n // 256)
+    base_leaves = max(64, n // 64)
+    external = ShuffleConfig(mode="external", buffer_bytes=(n * 8) // 16)
+
+    def build(shuffle: ShuffleConfig | None) -> tuple[float, SimulatedCluster]:
+        cluster = SimulatedCluster(runtime=LocalRuntime(shuffle=shuffle))
+        start = time.perf_counter()
+        d_greedy_abs(data, budget, cluster, base_leaves=base_leaves)
+        return time.perf_counter() - start, cluster
+
+    memory_seconds = external_seconds = float("inf")
+    spills = 0
+    for _ in range(reps):
+        seconds, _ = build(None)
+        memory_seconds = min(memory_seconds, seconds)
+        seconds, cluster = build(external)
+        external_seconds = min(external_seconds, seconds)
+        spills = sum(job.shuffle_stats.get("spills", 0) for job in cluster.log.jobs)
+    return {
+        "n": n,
+        "budget": budget,
+        "base_leaves": base_leaves,
+        "buffer_bytes": (n * 8) // 16,
+        "spills": spills,
+        "memory_seconds": memory_seconds,
+        "external_seconds": external_seconds,
+        "overhead": external_seconds / memory_seconds,
+    }

@@ -25,7 +25,9 @@ import numpy as np
 
 from repro.core.thresholding import ALGORITHMS, build_synopsis
 from repro.exceptions import ReproError
-from repro.mapreduce.cluster import RUNTIMES, SimulatedCluster
+from repro.mapreduce.cluster import RUNTIMES, SimulatedCluster, make_runtime
+from repro.mapreduce.hdfs import FileDataset
+from repro.mapreduce.shuffle import DEFAULT_BUFFER_BYTES, SHUFFLE_MODES, ShuffleConfig
 from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
 from repro.wavelet.synopsis import WaveletSynopsis
 
@@ -57,8 +59,19 @@ def _load_synopsis(path: str) -> WaveletSynopsis:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    data = _load_data(args.data)
-    cluster = SimulatedCluster(runtime=args.runtime)
+    data: FileDataset | np.ndarray
+    if args.file_backed:
+        if Path(args.data).suffix != ".npy":
+            raise ReproError("--file-backed requires a .npy data file")
+        data = FileDataset(args.data)
+    else:
+        data = _load_data(args.data)
+    shuffle = ShuffleConfig(
+        mode=args.shuffle,
+        spill_dir=args.spill_dir,
+        buffer_bytes=args.spill_buffer_bytes,
+    )
+    cluster = SimulatedCluster(runtime=make_runtime(args.runtime, shuffle=shuffle))
     synopsis = build_synopsis(
         data,
         budget=args.budget,
@@ -81,11 +94,29 @@ def _cmd_build(args: argparse.Namespace) -> int:
     else:
         json.dump(payload, sys.stdout, indent=2)
         print()
+    if isinstance(data, FileDataset):
+        # Out-of-core build: evaluating max_abs would materialize the
+        # reconstruction over the whole input, defeating the point.
+        quality = ""
+    else:
+        padded = np.pad(data, (0, synopsis.n - data.size))
+        quality = f" max_abs={synopsis.max_abs_error(padded):.4f}"
     print(
-        f"algorithm={args.algorithm} N={synopsis.n} size={synopsis.size} "
-        f"max_abs={synopsis.max_abs_error(np.pad(data, (0, synopsis.n - data.size))):.4f}",
+        f"algorithm={args.algorithm} N={synopsis.n} size={synopsis.size}{quality}",
         file=sys.stderr,
     )
+    if args.shuffle == "external":
+        spills = sum(job.shuffle_stats.get("spills", 0) for job in cluster.log.jobs)
+        spilled = sum(
+            job.shuffle_stats.get("spilled_bytes_encoded", 0)
+            for job in cluster.log.jobs
+        )
+        runs = sum(job.shuffle_stats.get("run_files", 0) for job in cluster.log.jobs)
+        print(
+            f"shuffle=external spills={spills} run_files={runs} "
+            f"spilled_bytes={spilled}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -138,6 +169,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="task execution engine: 'local' (sequential, cleanest cost-model "
         "timings), 'threads' (parallel numpy-heavy tasks), 'process' "
         "(parallel GIL-bound tasks)",
+    )
+    build.add_argument(
+        "--shuffle",
+        default="memory",
+        choices=list(SHUFFLE_MODES),
+        help="shuffle discipline: 'memory' (resident partitions) or "
+        "'external' (bounded buffer, sorted spill runs, k-way merge); "
+        "results are bit-identical either way",
+    )
+    build.add_argument(
+        "--spill-dir",
+        help="directory for external-shuffle run files (a system temp "
+        "directory when omitted); always left empty afterwards",
+    )
+    build.add_argument(
+        "--spill-buffer-bytes",
+        type=int,
+        default=DEFAULT_BUFFER_BYTES,
+        help="external-shuffle in-memory buffer, in serde-model bytes",
+    )
+    build.add_argument(
+        "--file-backed",
+        action="store_true",
+        help="read the .npy input through mmap-backed splits instead of "
+        "loading it (out-of-core; dgreedy-abs/dgreedy-rel only)",
     )
     build.add_argument("--output", help="write the synopsis JSON here")
     build.add_argument(

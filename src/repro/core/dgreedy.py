@@ -47,7 +47,7 @@ from repro.algos.greedy_abs import GreedyAbsTree, GreedyRun
 from repro.algos.greedy_rel import GreedyRelTree
 from repro.exceptions import InvalidInputError
 from repro.mapreduce.cluster import SimulatedCluster
-from repro.mapreduce.hdfs import InputSplit, aligned_splits
+from repro.mapreduce.hdfs import FileDataset, InputSplit, aligned_splits
 from repro.mapreduce.job import MapReduceJob
 from repro.core.partitioning import local_to_global, root_base_partition
 from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
@@ -400,21 +400,27 @@ class _AverageJob(MapReduceJob):
 
 def _distributed_greedy(
     engine: _GreedyEngine,
-    data: ArrayLike,
+    data: ArrayLike | FileDataset,
     budget: int,
     cluster: SimulatedCluster | None,
     base_leaves: int,
     bucket_width: float,
     level2_workers: int,
 ) -> WaveletSynopsis:
-    values = np.asarray(data, dtype=np.float64)
-    if values.ndim != 1 or not is_power_of_two(values.shape[0]):
-        raise InvalidInputError("data length must be a power of two")
+    # The driver only needs ``n`` and sub-tree aligned splits, so a
+    # file-backed dataset slots in without materializing the input: every
+    # split reads its own mmap slice inside the map task.
+    if isinstance(data, FileDataset):
+        n = len(data)
+    else:
+        values = np.asarray(data, dtype=np.float64)
+        if values.ndim != 1 or not is_power_of_two(values.shape[0]):
+            raise InvalidInputError("data length must be a power of two")
+        n = int(values.shape[0])
     if budget < 0:
         raise InvalidInputError("budget must be non-negative")
     if bucket_width <= 0:
         raise InvalidInputError("bucket width must be strictly positive")
-    n = int(values.shape[0])
     cluster = cluster or SimulatedCluster()
     if base_leaves >= n:
         base_leaves = n // 2
@@ -422,7 +428,10 @@ def _distributed_greedy(
         raise InvalidInputError("data too small for a root/base partition")
 
     root_size, _ = root_base_partition(n, base_leaves)
-    splits = aligned_splits(values, base_leaves)
+    if isinstance(data, FileDataset):
+        splits = data.aligned_splits(base_leaves)
+    else:
+        splits = aligned_splits(values, base_leaves)
 
     # Pre-job: sub-tree averages -> root sub-tree coefficients.
     averages_result = cluster.run_job(_AverageJob(), splits)
@@ -480,7 +489,7 @@ def _distributed_greedy(
 
 
 def d_greedy_abs(
-    data: ArrayLike,
+    data: ArrayLike | FileDataset,
     budget: int,
     cluster: SimulatedCluster | None = None,
     base_leaves: int = 1024,
@@ -499,7 +508,7 @@ def d_greedy_abs(
 
 
 def d_greedy_rel(
-    data: ArrayLike,
+    data: ArrayLike | FileDataset,
     budget: int,
     sanity_bound: float = DEFAULT_SANITY_BOUND,
     cluster: SimulatedCluster | None = None,

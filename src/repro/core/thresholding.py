@@ -27,6 +27,7 @@ from repro.core.dindirect import d_indirect_haar
 from repro.data.loader import pad_to_power_of_two
 from repro.exceptions import InvalidInputError
 from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.hdfs import FileDataset
 from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
 from repro.wavelet.synopsis import WaveletSynopsis
 
@@ -51,7 +52,7 @@ ALGORITHMS = {
 
 
 def build_synopsis(
-    data: ArrayLike,
+    data: ArrayLike | FileDataset,
     budget: int,
     algorithm: str = "dgreedy-abs",
     cluster: SimulatedCluster | None = None,
@@ -67,7 +68,10 @@ def build_synopsis(
     data:
         One-dimensional sequence.  Non-power-of-two lengths are zero-padded
         when ``pad`` is True (queries on indices past the original length
-        return the padding).
+        return the padding).  A :class:`~repro.mapreduce.hdfs.FileDataset`
+        keeps the input on disk (out-of-core); only the sub-tree
+        partitioned greedy algorithms (``dgreedy-abs``/``dgreedy-rel``)
+        support it — every other driver materializes the full array.
     budget:
         Maximum number of retained coefficients ``B``.
     algorithm:
@@ -87,6 +91,18 @@ def build_synopsis(
     if algorithm not in ALGORITHMS:
         raise InvalidInputError(
             f"unknown algorithm {algorithm!r}; choose one of {sorted(ALGORITHMS)}"
+        )
+    if isinstance(data, FileDataset):
+        if algorithm not in ("dgreedy-abs", "dgreedy-rel"):
+            raise InvalidInputError(
+                f"algorithm {algorithm!r} materializes the full data array and "
+                "cannot run on a FileDataset; use dgreedy-abs or dgreedy-rel"
+            )
+        cluster = cluster or SimulatedCluster()
+        if algorithm == "dgreedy-abs":
+            return d_greedy_abs(data, budget, cluster, base_leaves=subtree_leaves)
+        return d_greedy_rel(
+            data, budget, sanity_bound, cluster, base_leaves=subtree_leaves
         )
     values = np.asarray(data, dtype=np.float64)
     if pad:

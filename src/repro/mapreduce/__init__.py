@@ -17,12 +17,31 @@ from repro.mapreduce.cluster import (
     price_log,
 )
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.hdfs import InputSplit, aligned_splits, block_splits
+from repro.mapreduce.hdfs import (
+    FileDataset,
+    FileSplit,
+    InputSplit,
+    aligned_splits,
+    block_splits,
+)
 from repro.mapreduce.job import MapReduceJob, is_process_safe, stable_partition
 from repro.mapreduce.parallel import ThreadPoolRuntime, ThreadSafeFailureInjector
 from repro.mapreduce.process import ProcessPoolRuntime, ProcessSafeFailureInjector
 from repro.mapreduce.runtime import FailureInjector, JobResult, LocalRuntime
-from repro.mapreduce.serde import estimate_size, record_size
+from repro.mapreduce.serde import (
+    decode_batch,
+    encode_batch,
+    estimate_size,
+    record_size,
+)
+from repro.mapreduce.shuffle import (
+    DEFAULT_BUFFER_BYTES,
+    SHUFFLE_MODES,
+    ExternalShuffle,
+    MemoryShuffle,
+    ShuffleConfig,
+    make_shuffle,
+)
 from repro.mapreduce.tracing import (
     TRACE_SCHEMA_VERSION,
     JobSpan,
@@ -36,16 +55,23 @@ from repro.mapreduce.tracing import (
 __all__ = [
     "ClusterConfig",
     "Counters",
+    "DEFAULT_BUFFER_BYTES",
+    "ExternalShuffle",
     "FailureInjector",
+    "FileDataset",
+    "FileSplit",
     "InputSplit",
     "JobResult",
     "JobSpan",
     "LocalRuntime",
     "MapReduceJob",
     "MemoryModel",
+    "MemoryShuffle",
     "ProcessPoolRuntime",
     "ProcessSafeFailureInjector",
     "RUNTIMES",
+    "SHUFFLE_MODES",
+    "ShuffleConfig",
     "SimulatedCluster",
     "StageSpan",
     "TaskSpan",
@@ -56,10 +82,13 @@ __all__ = [
     "aligned_splits",
     "block_splits",
     "canonical_trace",
+    "decode_batch",
+    "encode_batch",
     "estimate_size",
     "is_process_safe",
     "job_emitted_bytes",
     "make_runtime",
+    "make_shuffle",
     "makespan",
     "price_log",
     "record_size",

@@ -38,6 +38,7 @@ from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.parallel import ThreadPoolRuntime
 from repro.mapreduce.process import ProcessPoolRuntime
 from repro.mapreduce.runtime import JobResult, LocalRuntime
+from repro.mapreduce.shuffle import ShuffleConfig
 from repro.mapreduce.tracing import TRACE_SCHEMA_VERSION
 
 __all__ = [
@@ -59,14 +60,21 @@ RUNTIMES: dict[str, type[LocalRuntime]] = {
 }
 
 
-def make_runtime(name: str) -> LocalRuntime:
-    """Instantiate a runtime by registry name (default configuration)."""
+def make_runtime(
+    name: str, shuffle: ShuffleConfig | str | None = None
+) -> LocalRuntime:
+    """Instantiate a runtime by registry name (default configuration).
+
+    ``shuffle`` selects the shuffle discipline (a mode name or a full
+    :class:`~repro.mapreduce.shuffle.ShuffleConfig`); None keeps the
+    in-memory default.
+    """
     try:
         runtime_cls = RUNTIMES[name]
     except KeyError:
         options = ", ".join(sorted(RUNTIMES))
         raise ValueError(f"unknown runtime {name!r} (choose from: {options})") from None
-    return runtime_cls()
+    return runtime_cls(shuffle=shuffle)
 
 
 def makespan(task_seconds: list[float], slots: int) -> float:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 import threading
+from collections.abc import Iterator
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
@@ -34,6 +35,7 @@ from repro.mapreduce.runtime import (
     run_map_task,
     run_reduce_task,
 )
+from repro.mapreduce.shuffle import ShuffleConfig
 from repro.mapreduce.tracing import TaskSpan, Tracer
 
 __all__ = ["ThreadPoolRuntime", "ThreadSafeFailureInjector", "default_worker_count"]
@@ -75,24 +77,28 @@ class ThreadPoolRuntime(LocalRuntime):
         max_workers: int | None = None,
         failure_injector: FailureInjector | None = None,
         tracer: Tracer | None = None,
+        shuffle: ShuffleConfig | str | None = None,
     ) -> None:
         if max_workers is None:
             max_workers = default_worker_count()
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
-        super().__init__(failure_injector, tracer)
+        super().__init__(failure_injector, tracer, shuffle)
         self.max_workers = max_workers
 
     def _execute_map_tasks(
         self, job: MapReduceJob, splits: list[InputSplit]
-    ) -> list[tuple[MapTaskResult, TaskSpan]]:
+    ) -> Iterator[tuple[MapTaskResult, TaskSpan]]:
         def map_task(split: InputSplit) -> tuple[MapTaskResult, TaskSpan]:
             return self._run_attempts(
                 lambda: run_map_task(job, split), f"{job.name}/map-{split.split_id}"
             )
 
+        # Yield (in split order) while the pool context stays open, so the
+        # driver can stream each task's output into the shuffle as soon as
+        # it completes rather than materializing the whole result list.
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(map_task, splits))
+            yield from pool.map(map_task, splits)
 
     def _execute_reduce_tasks(
         self, job: MapReduceJob, partitions: list[list[tuple[Any, Any]]]

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import zlib
+from collections.abc import Iterator
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
@@ -43,6 +44,7 @@ from repro.mapreduce.runtime import (
     run_reduce_task,
     run_task_attempts,
 )
+from repro.mapreduce.shuffle import ShuffleConfig
 from repro.mapreduce.tracing import TaskSpan, Tracer
 
 __all__ = ["ProcessPoolRuntime", "ProcessSafeFailureInjector", "default_process_count"]
@@ -130,6 +132,7 @@ class ProcessPoolRuntime(LocalRuntime):
         max_workers: int | None = None,
         failure_injector: ProcessSafeFailureInjector | None = None,
         tracer: Tracer | None = None,
+        shuffle: ShuffleConfig | str | None = None,
     ) -> None:
         if max_workers is None:
             max_workers = default_process_count()
@@ -142,7 +145,7 @@ class ProcessPoolRuntime(LocalRuntime):
                 "ProcessPoolRuntime needs a ProcessSafeFailureInjector: a "
                 "shared-RNG injector's draw order would depend on scheduling"
             )
-        super().__init__(failure_injector, tracer)
+        super().__init__(failure_injector, tracer, shuffle)
         self.max_workers = max_workers
 
     def _task_injector(self, task_label: str) -> FailureInjector | None:
@@ -155,16 +158,19 @@ class ProcessPoolRuntime(LocalRuntime):
 
     def _execute_map_tasks(
         self, job: MapReduceJob, splits: list[InputSplit]
-    ) -> list[tuple[MapTaskResult, TaskSpan]]:
+    ) -> Iterator[tuple[MapTaskResult, TaskSpan]]:
         if not is_process_safe(job):
-            return super()._execute_map_tasks(job, splits)
+            yield from super()._execute_map_tasks(job, splits)
+            return
         work = [
             (job, split, label, self._task_injector(label))
             for split in splits
             for label in [f"{job.name}/map-{split.split_id}"]
         ]
+        # Yield (in split order) while the pool context stays open, so the
+        # driver can stream completed task outputs into the shuffle.
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(_run_map_task_in_worker, work))
+            yield from pool.map(_run_map_task_in_worker, work)
 
     def _execute_reduce_tasks(
         self, job: MapReduceJob, partitions: list[list[tuple[Any, Any]]]

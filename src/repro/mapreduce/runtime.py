@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -46,6 +47,7 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.serde import record_size
+from repro.mapreduce.shuffle import ShuffleBase, ShuffleConfig, make_shuffle
 from repro.mapreduce.tracing import (
     AttemptSpan,
     JobSpan,
@@ -110,6 +112,11 @@ class JobResult:
     #: The job's span tree (always built by the runtime; None only on
     #: hand-constructed results, e.g. in cost-model unit tests).
     trace: JobSpan | None = None
+    #: Spill accounting from the external shuffle (empty on the in-memory
+    #: path).  Deliberately *not* folded into ``counters`` or the trace:
+    #: external and in-memory runs of the same job must stay bit-identical
+    #: on both (the runtime-equivalence differential tests pin this).
+    shuffle_stats: dict[str, int] = field(default_factory=dict)
 
 
 def _hashable(key: Any) -> Any:
@@ -227,9 +234,13 @@ class LocalRuntime:
         self,
         failure_injector: FailureInjector | None = None,
         tracer: Tracer | None = None,
+        shuffle: ShuffleConfig | str | None = None,
     ) -> None:
         self.failure_injector = failure_injector
         self.tracer = tracer
+        if isinstance(shuffle, str):
+            shuffle = ShuffleConfig(mode=shuffle)
+        self.shuffle = shuffle
 
     def _run_attempts(
         self, task_callable: Callable[[], Any], task_label: str
@@ -238,15 +249,19 @@ class LocalRuntime:
 
     def _execute_map_tasks(
         self, job: MapReduceJob, splits: list[InputSplit]
-    ) -> list[tuple[MapTaskResult, TaskSpan]]:
-        """Run every map task; return ``(result, span)`` in split order."""
-        return [
-            self._run_attempts(
+    ) -> Iterator[tuple[MapTaskResult, TaskSpan]]:
+        """Run every map task; yield ``(result, span)`` in split order.
+
+        A lazy iterator, not a list: the driver consumes each task's
+        output as it arrives (feeding it into the shuffle, which may
+        spill it to disk), so whole-job map output is never required to
+        be resident at once.
+        """
+        for split in splits:
+            yield self._run_attempts(
                 lambda split=split: run_map_task(job, split),
                 f"{job.name}/map-{split.split_id}",
             )
-            for split in splits
-        ]
 
     def _execute_reduce_tasks(
         self, job: MapReduceJob, partitions: list[list[tuple[Any, Any]]]
@@ -261,19 +276,44 @@ class LocalRuntime:
         ]
 
     def run(self, job: MapReduceJob, splits: list[InputSplit]) -> JobResult:
-        """Execute ``job`` over ``splits`` and return its :class:`JobResult`."""
-        counters = Counters()
-        map_results = self._execute_map_tasks(job, splits)
+        """Execute ``job`` over ``splits`` and return its :class:`JobResult`.
 
-        map_task_seconds = [span.wall_seconds for _, span in map_results]
+        Reduce jobs route their map output through the configured shuffle
+        (:mod:`repro.mapreduce.shuffle`): each task's output is accounted
+        and handed over as soon as the task finishes, then released, so
+        with the external shuffle the driver never holds the whole map
+        output resident.  The shuffle is always closed — spill files are
+        deleted even when a task exhausts its attempts and the job aborts.
+        """
+        counters = Counters()
+        shuffle = None if job.num_reducers == 0 else make_shuffle(self.shuffle, job)
+        try:
+            return self._run_with_shuffle(job, splits, counters, shuffle)
+        finally:
+            if shuffle is not None:
+                shuffle.close()
+
+    def _run_with_shuffle(
+        self,
+        job: MapReduceJob,
+        splits: list[InputSplit],
+        counters: Counters,
+        shuffle: ShuffleBase | None,
+    ) -> JobResult:
+        map_task_seconds: list[float] = []
         map_spans: list[TaskSpan] = []
-        all_map_output: list[tuple[Any, Any]] = []
+        all_map_output: list[tuple[Any, Any]] = []  # map-only jobs
         input_records = 0
         map_records = 0  # pre-combine emission
         map_bytes = 0
+        map_output_records = 0  # post-combine records entering the shuffle
         shuffle_bytes = 0  # post-combine: what actually crosses the wire
-        for split, (task, span) in zip(splits, map_results):
-            task_bytes = sum(record_size(key, value) for key, value in task.output)
+        # Generator first in the zip: after the last task, the next() that
+        # stops the zip also resumes (and so finishes) the generator,
+        # closing any worker pool its hooks hold open.
+        for (task, span), split in zip(self._execute_map_tasks(job, splits), splits):
+            sizes = [record_size(key, value) for key, value in task.output]
+            task_bytes = sum(sizes)
             input_records += len(split)
             counters.increment("map.input_records", len(split))
             counters.increment("map.output_records", len(task.output))
@@ -284,9 +324,15 @@ class LocalRuntime:
             span.bytes_out = task.map_bytes if task.map_bytes is not None else task_bytes
             map_records += task.map_records
             map_bytes += span.bytes_out
+            map_output_records += len(task.output)
             shuffle_bytes += task_bytes
             map_spans.append(span)
-            all_map_output.extend(task.output)
+            map_task_seconds.append(span.wall_seconds)
+            if shuffle is None:
+                all_map_output.extend(task.output)
+            else:
+                shuffle.add_records(task.output, sizes)
+                task.output = []  # the shuffle owns the records now
         counters.increment("shuffle.bytes", shuffle_bytes)
 
         stages = [
@@ -303,7 +349,7 @@ class LocalRuntime:
                 StageSpan(
                     name="combine",
                     records_in=map_records,
-                    records_out=len(all_map_output),
+                    records_out=map_output_records,
                     bytes_out=shuffle_bytes,
                 )
             )
@@ -312,13 +358,13 @@ class LocalRuntime:
         stages.append(
             StageSpan(
                 name="shuffle",
-                records_in=len(all_map_output),
-                records_out=len(all_map_output),
+                records_in=map_output_records,
+                records_out=map_output_records,
                 bytes_out=shuffle_bytes,
             )
         )
 
-        if job.num_reducers == 0:
+        if shuffle is None:
             # Map-only jobs still pay to write their output (HDFS), so the
             # emitted bytes count as communication volume.
             return self._finish(
@@ -330,15 +376,12 @@ class LocalRuntime:
                     map_task_seconds=map_task_seconds,
                     reduce_task_seconds=[],
                     shuffle_bytes=shuffle_bytes,
-                    map_output_records=len(all_map_output),
+                    map_output_records=map_output_records,
                 ),
                 stages,
             )
 
-        partitions: list[list[tuple[Any, Any]]] = [[] for _ in range(job.num_reducers)]
-        for key, value in all_map_output:
-            partitions[job.partition(key, job.num_reducers)].append((key, value))
-
+        partitions = shuffle.partitions()
         reduce_results = self._execute_reduce_tasks(job, partitions)
         reduce_task_seconds = [span.wall_seconds for _, span in reduce_results]
         reducer_outputs = [output for output, _ in reduce_results]
@@ -356,7 +399,7 @@ class LocalRuntime:
         stages.append(
             StageSpan(
                 name="reduce",
-                records_in=len(all_map_output),
+                records_in=map_output_records,
                 records_out=len(final_output),
                 bytes_out=reduce_bytes,
                 tasks=reduce_spans,
@@ -372,8 +415,9 @@ class LocalRuntime:
                 map_task_seconds=map_task_seconds,
                 reduce_task_seconds=reduce_task_seconds,
                 shuffle_bytes=shuffle_bytes,
-                map_output_records=len(all_map_output),
+                map_output_records=map_output_records,
                 reducer_outputs=reducer_outputs,
+                shuffle_stats=dict(shuffle.stats),
             ),
             stages,
         )

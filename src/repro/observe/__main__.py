@@ -1,10 +1,17 @@
-"""CLI: summarize a trace JSON written by ``repro ... --trace out.json``.
+"""CLI: summarize and bound-check trace JSON from ``repro ... --trace``.
 
 Usage::
 
     python -m repro.observe trace.json [more.json ...]
+    python -m repro.observe trace.json --check-dgreedy N BASE_LEAVES BUDGET
+    python -m repro.observe trace.json --check-dp N SUBTREE_LEAVES EPS DELTA
 
-Prints the per-stage table for each trace document.
+Prints the per-stage table for each trace document.  The ``--check-*``
+flags additionally verify the measured shuffle bytes against the
+analytical budgets of :mod:`repro.observe.bounds` (Eq. 6 for the DP
+layers, the histogram emission bound for DGreedyAbs) and exit non-zero
+on any violation — the same predicted-vs-measured gate CI runs on
+end-to-end builds, regardless of runtime or shuffle mode.
 """
 
 from __future__ import annotations
@@ -12,8 +19,25 @@ from __future__ import annotations
 import argparse
 import json
 from pathlib import Path
+from typing import Any
 
+from repro.exceptions import ReproError
+from repro.observe.bounds import BoundCheck, check_dgreedy_trace, check_dmhaarspace_trace
 from repro.observe.report import render_trace
+
+
+def _render_checks(checks: list[BoundCheck]) -> tuple[str, bool]:
+    lines = []
+    all_ok = True
+    for check in checks:
+        status = "OK" if check.ok else "VIOLATED"
+        all_ok = all_ok and check.ok
+        lines.append(
+            f"  [{status}] {check.job_name}: measured {check.measured_bytes} B "
+            f"<= bound {check.bound_bytes} B "
+            f"(utilization {check.utilization:.3f})"
+        )
+    return "\n".join(lines), all_ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -22,12 +46,49 @@ def main(argv: list[str] | None = None) -> int:
         description="Summarize trace JSON documents written by the CLI's --trace flag.",
     )
     parser.add_argument("traces", nargs="+", type=Path, help="trace JSON file(s)")
+    parser.add_argument(
+        "--check-dgreedy",
+        nargs=3,
+        type=int,
+        metavar=("N", "BASE_LEAVES", "BUDGET"),
+        help="check dgreedy.histograms jobs against the histogram emission "
+        "bound; exit non-zero on violation",
+    )
+    parser.add_argument(
+        "--check-dp",
+        nargs=4,
+        type=float,
+        metavar=("N", "SUBTREE_LEAVES", "EPSILON", "DELTA"),
+        help="check dp.bottom_up jobs against their Eq. 6 layer budgets; "
+        "exit non-zero on violation",
+    )
     args = parser.parse_args(argv)
+    failed = False
     for path in args.traces:
-        trace = json.loads(path.read_text())
+        trace: dict[str, Any] = json.loads(path.read_text())
         print(f"== {path} ==")
         print(render_trace(trace))
-    return 0
+        try:
+            if args.check_dgreedy is not None:
+                n, base_leaves, budget = args.check_dgreedy
+                checks = check_dgreedy_trace(trace, n, base_leaves, budget)
+                rendered, ok = _render_checks(checks)
+                print("dgreedy histogram bound:")
+                print(rendered)
+                failed = failed or not ok
+            if args.check_dp is not None:
+                n_f, subtree_leaves_f, epsilon, delta = args.check_dp
+                checks = check_dmhaarspace_trace(
+                    trace, int(n_f), int(subtree_leaves_f), epsilon, delta
+                )
+                rendered, ok = _render_checks(checks)
+                print("Eq. 6 layer bounds:")
+                print(rendered)
+                failed = failed or not ok
+        except ReproError as error:
+            print(f"error: {error}")
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,25 @@
+"""Shared test configuration: deterministic hypothesis profiles.
+
+Two registered profiles:
+
+* ``default`` — hypothesis's stock randomized search (local development:
+  new falsifying examples are worth finding).
+* ``ci`` — ``derandomize=True``: the example sequence is a pure function
+  of each test's strategy, so a green CI run is reproducible and a red
+  one bisects.  CI selects it via ``HYPOTHESIS_PROFILE=ci``.
+
+Any property whose assertion uses an empirically-calibrated constant
+(see ``test_properties_distributed.py``) is only meaningful when the
+examples it runs on are deterministic — that's what the ``ci`` profile
+guarantees.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", settings())
+settings.register_profile("ci", settings(derandomize=True))
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -28,6 +28,7 @@ from repro.mapreduce import (
     MapReduceJob,
     ProcessPoolRuntime,
     ProcessSafeFailureInjector,
+    ShuffleConfig,
     SimulatedCluster,
     ThreadPoolRuntime,
     Tracer,
@@ -118,6 +119,44 @@ class TestTraceEquivalence:
                 assert len(names) == len(set(names))
         map_stage = local["jobs"][0]["stages"][0]
         assert len(map_stage["tasks"]) == len(data_and_splits())
+
+    def test_shuffle_dimension_preserves_canonical_traces(self):
+        """3 runtimes x 2 shuffle modes: one equivalence class of traces.
+
+        The tiny buffer forces multiple spill runs per map task, so the
+        external path is genuinely exercised, not just configured.
+        """
+        external = ShuffleConfig(mode="external", buffer_bytes=256)
+        variants = {
+            ("local", "memory"): LocalRuntime(),
+            ("local", "external"): LocalRuntime(shuffle=external),
+            ("threads", "memory"): ThreadPoolRuntime(max_workers=4),
+            ("threads", "external"): ThreadPoolRuntime(max_workers=4, shuffle=external),
+            ("process", "memory"): ProcessPoolRuntime(max_workers=2),
+            ("process", "external"): ProcessPoolRuntime(max_workers=2, shuffle=external),
+        }
+        traces = {}
+        outputs = {}
+        counters = {}
+        stats = {}
+        for variant, runtime in variants.items():
+            tracer = Tracer()
+            runtime.tracer = tracer
+            result = runtime.run(TraceSum(), data_and_splits())
+            traces[variant] = canonical_trace(tracer.to_dict())
+            outputs[variant] = result.output
+            counters[variant] = result.counters.as_dict()
+            stats[variant] = result.shuffle_stats
+        reference = ("local", "memory")
+        for variant in variants:
+            assert traces[variant] == traces[reference], variant
+            assert outputs[variant] == outputs[reference], variant
+            assert counters[variant] == counters[reference], variant
+        # External runs really spilled; spill accounting stays out of the
+        # counters/trace (asserted equal above) and lives in shuffle_stats.
+        for runtime_name in ("local", "threads", "process"):
+            assert stats[(runtime_name, "external")]["spills"] > 0
+            assert stats[(runtime_name, "memory")] == {}
 
     def test_failed_attempts_are_child_spans_in_order(self):
         injector = ProcessSafeFailureInjector(0.25, seed=5)
