@@ -1,21 +1,28 @@
-"""Perf-regression benchmark for the DP combine kernel.
+"""Perf-regression benchmark for the DP combine kernel and approximate tier.
 
 Times the windowed ``combine_rows`` kernel against the retained scalar
 reference across row widths (plus batched ``leaf_rows`` against the
-per-leaf loop) and writes the results to ``BENCH_dp_kernel.json`` at the
-repo root — the baseline future PRs diff their numbers against.
+per-leaf loop), and sweeps the approximate DP tier's coarsening knob
+``rho`` over two end-to-end builds — centralized MinHaarSpace and
+distributed DIndirectHaar — checking the tier's guarantees while it
+measures.  Results go to ``BENCH_dp_kernel.json`` at the repo root — the
+baseline future PRs diff their numbers against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_dp_kernel.py           # full run
-    PYTHONPATH=src python benchmarks/bench_dp_kernel.py --quick   # CI smoke
-    PYTHONPATH=src python benchmarks/bench_dp_kernel.py --check   # CI guard
+    PYTHONPATH=src python benchmarks/bench_dp_kernel.py                   # full run
+    PYTHONPATH=src python benchmarks/bench_dp_kernel.py --quick           # CI smoke
+    PYTHONPATH=src python benchmarks/bench_dp_kernel.py --check           # CI guard
+    PYTHONPATH=src python benchmarks/bench_dp_kernel.py --check --quick   # CI rho gate
 
-``--quick`` runs two widths once and exits non-zero if the dispatcher is
-meaningfully slower than the scalar reference.  ``--check`` runs the full
-grid and compares each width's *speedup ratio* against the committed
-baseline, failing on a >2x regression — speedups (vectorized vs scalar
-on the same machine) transfer across hosts where absolute seconds do not.
+``--quick`` shrinks every sweep (two widths, small builds, one rep).
+``--check`` gates: the baseline's ``schema_version`` must match exactly
+(old-format baselines fail loudly instead of comparing apples to
+oranges), each width's *speedup ratio* must stay within a factor of the
+committed baseline — speedups (vectorized vs scalar on the same machine)
+transfer across hosts where absolute seconds do not — and the rho sweep
+must show the acceptance-bar end-to-end speedup at rho=0.1 with every
+guarantee row (error bound, size/budget) holding.
 """
 
 import argparse
@@ -26,10 +33,21 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.bench.dp_kernel import DP_KERNEL_WIDTHS, bench_combine_widths, bench_leaf_batch
+from repro.bench.dp_kernel import (
+    DP_KERNEL_WIDTHS,
+    DP_RHO_GRID,
+    bench_combine_widths,
+    bench_leaf_batch,
+    bench_rho_build,
+    bench_rho_distributed,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_dp_kernel.json"
+
+#: Bumped whenever the payload layout changes; --check refuses to compare
+#: against a baseline written under any other version.
+SCHEMA_VERSION = 2
 
 #: --quick fails only if the dispatcher is slower than the scalar
 #: reference by more than this factor (generous: CI timing noise).
@@ -37,6 +55,13 @@ QUICK_SLOWDOWN_TOLERANCE = 1.5
 
 #: --check fails when a width's speedup drops below baseline/this factor.
 CHECK_REGRESSION_FACTOR = 2.0
+
+#: --check fails when the rho=0.1 end-to-end build speedup (exact DP vs
+#: approximate tier, same machine) drops below this bar.
+RHO_MIN_SPEEDUP = 2.0
+
+#: The rho the end-to-end speedup bar is measured at.
+RHO_GATE = 0.1
 
 
 def print_rows(rows) -> None:
@@ -50,11 +75,61 @@ def print_rows(rows) -> None:
         )
 
 
-def check_against_baseline(rows, baseline_path: Path) -> int:
+def print_rho_sweep(name: str, sweep: dict) -> None:
+    print(f"\n{name} (n={sweep['n']}, exact {sweep['exact_seconds']:.3f}s):")
+    header = f"{'rho':>6}{'seconds':>10}{'speedup':>9}{'size':>6}{'max_err':>9}{'bound':>9}{'ok':>4}"
+    print(header)
+    print("-" * len(header))
+    for r in sweep["rows"]:
+        ok = r["within_bound"] and r.get("size_ok", r.get("budget_ok", False))
+        print(
+            f"{r['rho']:>6.2f}{r['seconds']:>10.4f}{r['speedup']:>8.2f}x"
+            f"{r['size']:>6}{r['max_error']:>9.4f}{r['error_bound']:>9.4f}"
+            f"{'ok' if ok else 'NO':>4}"
+        )
+
+
+def check_rho_sweeps(results: dict) -> list[str]:
+    """Gate the approximate tier on the current run's own numbers."""
+    failures = []
+    for name, size_key in (("rho_build", "size_ok"), ("rho_distributed", "budget_ok")):
+        sweep = results.get(name)
+        if sweep is None:
+            failures.append(f"{name}: sweep missing from this run")
+            continue
+        gate_seen = False
+        for r in sweep["rows"]:
+            label = f"{name} rho={r['rho']}"
+            if not r["within_bound"]:
+                failures.append(
+                    f"{label}: max_error {r['max_error']:.6f} exceeds the proven "
+                    f"bound {r['error_bound']:.6f}"
+                )
+            if not r[size_key]:
+                failures.append(f"{label}: {size_key} violated (size {r['size']})")
+            if r["rho"] == RHO_GATE:
+                gate_seen = True
+                if r["speedup"] < RHO_MIN_SPEEDUP:
+                    failures.append(
+                        f"{label}: end-to-end speedup {r['speedup']:.2f}x is below "
+                        f"the {RHO_MIN_SPEEDUP}x bar"
+                    )
+        if not gate_seen:
+            failures.append(f"{name}: no rho={RHO_GATE} row to gate on")
+    return failures
+
+
+def check_against_baseline(rows, baseline_path: Path) -> list[str]:
     if not baseline_path.exists():
-        print(f"FAIL: baseline {baseline_path} not found", file=sys.stderr)
-        return 1
+        return [f"baseline {baseline_path} not found"]
     baseline = json.loads(baseline_path.read_text())
+    found = baseline.get("schema_version")
+    if found != SCHEMA_VERSION:
+        return [
+            f"baseline {baseline_path.name} has schema_version {found!r}, this "
+            f"benchmark writes {SCHEMA_VERSION}; regenerate the baseline "
+            "(old formats are not comparable)"
+        ]
     baseline_by_width = {r["width"]: r for r in baseline["results"]["combine"]}
     failures = []
     for r in rows:
@@ -67,12 +142,7 @@ def check_against_baseline(rows, baseline_path: Path) -> int:
                 f"width {r['width']}: speedup {r['speedup']:.2f}x is more than "
                 f"{CHECK_REGRESSION_FACTOR}x below the baseline {base['speedup']:.2f}x"
             )
-    if failures:
-        for line in failures:
-            print(f"FAIL: {line}", file=sys.stderr)
-        return 1
-    print(f"check OK: no width regressed >{CHECK_REGRESSION_FACTOR}x vs {baseline_path.name}")
-    return 0
+    return failures
 
 
 def main(argv=None) -> int:
@@ -80,14 +150,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="smoke mode: two widths, one rep, no JSON write; fails if the "
-        "dispatcher is clearly slower than the scalar reference",
+        help="smoke mode: two widths, small builds, one rep, no JSON write; "
+        "fails if the dispatcher is clearly slower than the scalar reference",
     )
     parser.add_argument(
         "--check",
         action="store_true",
-        help="regression mode: full grid, compared against the committed "
-        f"baseline; fails on a >{CHECK_REGRESSION_FACTOR}x speedup regression",
+        help="regression mode: schema-gated comparison against the committed "
+        f"baseline (>{CHECK_REGRESSION_FACTOR}x speedup regressions fail) "
+        f"plus the rho-sweep guarantees and the {RHO_MIN_SPEEDUP}x bar at "
+        f"rho={RHO_GATE}",
     )
     parser.add_argument("--reps", type=int, default=3, help="repetitions (min is kept)")
     parser.add_argument("--seed", type=int, default=7)
@@ -102,8 +174,16 @@ def main(argv=None) -> int:
 
     if args.quick:
         rows = bench_combine_widths(widths=[16, 128], reps=1, seed=args.seed)
+        rho_build = bench_rho_build(n=512, reps=1, seed=args.seed)
+        rho_distributed = bench_rho_distributed(
+            n=512, subtree_leaves=128, reps=1, seed=args.seed
+        )
     else:
         rows = bench_combine_widths(reps=args.reps, seed=args.seed)
+        rho_build = bench_rho_build(n=2048, reps=2, seed=args.seed)
+        rho_distributed = bench_rho_distributed(
+            n=1024, subtree_leaves=256, reps=1, seed=args.seed
+        )
     print_rows(rows)
     leaf = bench_leaf_batch(reps=1 if args.quick else args.reps, seed=args.seed)
     print(
@@ -111,6 +191,14 @@ def main(argv=None) -> int:
         f"{leaf['vectorized_seconds']:.6f}s vs {leaf['reference_seconds']:.6f}s "
         f"({leaf['speedup']:.2f}x)"
     )
+    print_rho_sweep("MinHaarSpace rho sweep", rho_build)
+    print_rho_sweep("DIndirectHaar rho sweep", rho_distributed)
+    results = {
+        "combine": rows,
+        "leaf_batch": leaf,
+        "rho_build": rho_build,
+        "rho_distributed": rho_distributed,
+    }
 
     if args.quick:
         slow = [r for r in rows if r["speedup"] < 1.0 / QUICK_SLOWDOWN_TOLERANCE]
@@ -123,15 +211,32 @@ def main(argv=None) -> int:
         if slow:
             return 1
         print("quick smoke OK: dispatcher is not slower than the scalar reference")
-        if args.out is None:
-            return 0
 
     if args.check:
-        return check_against_baseline(rows, args.out or DEFAULT_OUT)
+        failures = check_rho_sweeps(results)
+        # Width-ratio comparison only makes sense against the committed
+        # full-grid baseline; the quick grid still gates the rho sweep.
+        if not args.quick:
+            failures += check_against_baseline(rows, args.out or DEFAULT_OUT)
+        if failures:
+            for line in failures:
+                print(f"FAIL: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"check OK: rho guarantees hold, rho={RHO_GATE} speedup above "
+            f"{RHO_MIN_SPEEDUP}x"
+            + ("" if args.quick else ", no width regressed vs baseline")
+        )
+        return 0
+
+    if args.quick:
+        if args.out is None:
+            return 0
 
     out = args.out or DEFAULT_OUT
     payload = {
         "benchmark": "dp_kernel",
+        "schema_version": SCHEMA_VERSION,
         "seed": args.seed,
         "reps": 1 if args.quick else args.reps,
         "quick": args.quick,
@@ -139,7 +244,8 @@ def main(argv=None) -> int:
         "numpy": np.__version__,
         "timing": "interleaved min over reps; per-call seconds",
         "widths": DP_KERNEL_WIDTHS,
-        "results": {"combine": rows, "leaf_batch": leaf},
+        "rho_grid": DP_RHO_GRID,
+        "results": results,
     }
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")

@@ -26,9 +26,30 @@ from repro.exceptions import InfeasibleErrorBound, InvalidInputError
 from repro.wavelet.synopsis import WaveletSynopsis
 from repro.wavelet.transform import haar_transform
 
-__all__ = ["indirect_haar", "indirect_haar_search"]
+__all__ = ["indirect_haar", "indirect_haar_search", "search_resolution"]
 
 Solver = Callable[[float], DualSolution]
+
+
+def search_resolution(error_high: float, delta: float, n: int, rho: float) -> float:
+    """Binary-search step matched to the solver's grid resolution.
+
+    The exact DP resolves error bounds to within ``delta``, so Algorithm 2
+    terminates once its bracket shrinks below one quantum.  The
+    approximate tier's grid is the coarsened ``delta'`` of
+    :func:`~repro.algos.minhaarspace.approx_params` — searching finer
+    than that re-solves near-identical coarse DPs for no gain (each one a
+    full distributed pass in DIndirectHaar).  The resolution is evaluated
+    at the upper bracket, the scale of every epsilon the search can
+    probe; the winning synopsis then satisfies ``error <= (1 + rho) *
+    (E_exact + resolution)``.
+    """
+    if rho <= 0:
+        return delta
+    from repro.algos.minhaarspace import approx_params
+
+    _, coarse = approx_params(max(error_high, delta), delta, n, rho)
+    return max(delta, coarse)
 
 
 def indirect_haar_search(
@@ -43,6 +64,16 @@ def indirect_haar_search(
 
     Returns ``(best_solution, solver_runs)``; the best solution is the one
     with minimum achieved error among all probes of size <= ``budget``.
+
+    Probes are memoized: re-probing an already-solved ``epsilon`` (the
+    optimality check of lines 9-11 frequently lands on one) returns the
+    cached :class:`DualSolution` without touching the solver, and any
+    probe at or below the tightest bound already known to fail — too big
+    for the budget, or quantization-infeasible — is answered from that
+    failure by the same monotonicity the bracket updates rely on
+    (shrinking ``epsilon`` never shrinks the minimum size).  ``runs``
+    counts actual solver invocations, so skipped probes are visible as a
+    lower ``dp_runs`` in the synopsis metadata.
     """
     if budget < 0:
         raise InvalidInputError("budget must be non-negative")
@@ -51,15 +82,30 @@ def indirect_haar_search(
 
     runs = 0
     best: DualSolution | None = None
+    cache: dict[float, DualSolution | None] = {}
+    # Largest epsilon known to fail (over budget or infeasible), with its
+    # recorded outcome: every probe at or below it is implied.
+    failed_at = -np.inf
+    failed_result: DualSolution | None = None
 
     def probe(epsilon: float) -> DualSolution | None:
-        nonlocal runs, best
+        nonlocal runs, best, failed_at, failed_result
+        clamped = max(epsilon, delta)
+        if clamped in cache:
+            return cache[clamped]
+        if clamped <= failed_at:
+            return failed_result
         runs += 1
         try:
-            solution = solver(max(epsilon, delta))
+            solution: DualSolution | None = solver(clamped)
         except InfeasibleErrorBound:
-            return None
-        if solution.size <= budget and (best is None or solution.max_error < best.max_error):
+            solution = None
+        cache[clamped] = solution
+        if solution is None or solution.size > budget:
+            if clamped > failed_at:
+                failed_at = clamped
+                failed_result = solution
+        elif best is None or solution.max_error < best.max_error:
             best = solution
         return solution
 
@@ -88,9 +134,17 @@ def indirect_haar_search(
             e_low = e_mid
             continue
         if solution.size <= budget:
+            achieved = solution.max_error
+            if achieved > e_mid:
+                # Only the approximate tier lands here: the achieved error
+                # may exceed the probe's bound by up to its (1 + rho)
+                # inflation, so the lines 9-11 shortcut below (which jumps
+                # the bracket to the achieved error) would *raise* e_high.
+                # Bisect on the bound itself instead.
+                e_high = e_mid
+                continue
             # Optimality check (lines 9-11): can a strictly smaller error
             # bound still fit the budget?
-            achieved = solution.max_error
             tighter = probe(achieved - delta)
             if tighter is None or tighter.size > budget:
                 finished = True
@@ -109,6 +163,8 @@ def indirect_haar(
     solver: Solver | None = None,
     max_iterations: int = 48,
     restricted: bool = False,
+    rho: float = 0.0,
+    kernel: str = "auto",
 ) -> WaveletSynopsis:
     """Centralized IndirectHaar: best max-abs synopsis within ``budget``.
 
@@ -116,6 +172,15 @@ def indirect_haar(
     (unrestricted, as the paper's footnote 2; ``restricted=True`` swaps in
     the classic restricted search space); the distributed driver passes
     DMHaarSpace instead.
+
+    ``rho > 0`` answers every probe with the approximate DP tier
+    (:func:`repro.algos.minhaarspace.approx_params`): the synopsis still
+    respects ``budget``, and because each probe at bound ``e`` achieves
+    error at most ``(1 + rho) * e``, the search's winner has error at
+    most ``(1 + rho) * (E_exact + delta)`` where ``E_exact`` is the
+    exact search's result.  ``kernel`` picks a combine kernel from
+    :data:`repro.algos.minhaarspace.DP_KERNELS`; both are ignored when an
+    explicit ``solver`` is supplied.
     """
     values = np.asarray(data, dtype=np.float64)
     coefficients = haar_transform(values)
@@ -123,7 +188,7 @@ def indirect_haar(
     conventional = conventional_synopsis(values, budget)
     error_high = conventional.max_abs_error(values)
     if error_high == 0.0:  # lint: ignore[KC002]
-        conventional.meta.update({"algorithm": "IndirectHaar", "dp_runs": 0})
+        conventional.meta.update({"algorithm": "IndirectHaar", "dp_runs": 0, "rho": rho})
         return conventional
     error_low = largest_coefficient(coefficients, budget + 1)
 
@@ -131,12 +196,21 @@ def indirect_haar(
         if restricted:
             from repro.algos.minhaarspace import min_haar_space_restricted
 
-            solver = lambda epsilon: min_haar_space_restricted(values, epsilon, delta)  # noqa: E731
+            solver = lambda epsilon: min_haar_space_restricted(  # noqa: E731
+                values, epsilon, delta, rho=rho, kernel=kernel
+            )
         else:
-            solver = lambda epsilon: min_haar_space(values, epsilon, delta)  # noqa: E731
+            solver = lambda epsilon: min_haar_space(  # noqa: E731
+                values, epsilon, delta, rho=rho, kernel=kernel
+            )
 
     best, runs = indirect_haar_search(
-        solver, error_low, error_high, budget, delta, max_iterations
+        solver,
+        error_low,
+        error_high,
+        budget,
+        search_resolution(error_high, delta, int(values.shape[0]), rho),
+        max_iterations,
     )
     synopsis = best.synopsis
     synopsis.meta.update(
@@ -144,6 +218,7 @@ def indirect_haar(
             "algorithm": "IndirectHaar",
             "budget": budget,
             "delta": delta,
+            "rho": rho,
             "max_abs_error": best.max_error,
             "dp_runs": runs,
         }

@@ -29,6 +29,9 @@ distributed layer instead of from recursion.
 from __future__ import annotations
 
 import math
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,6 +45,9 @@ from repro.wavelet.transform import is_power_of_two
 __all__ = [
     "MRow",
     "DualSolution",
+    "DP_KERNELS",
+    "KernelSpec",
+    "approx_params",
     "effective_delta",
     "leaf_row",
     "leaf_rows",
@@ -51,6 +57,7 @@ __all__ = [
     "combine_rows_restricted_scalar",
     "compute_subtree_rows",
     "compute_subtree_rows_restricted",
+    "resolve_kernel",
     "traceback_subtree",
     "finalize_root",
     "min_haar_space",
@@ -97,6 +104,47 @@ def effective_delta(epsilon: float, delta: float, n: int) -> float:
     depth = max(n.bit_length() - 1, 1)
     ceiling = 2.0 * epsilon / (depth + 2)
     return min(delta, ceiling) if ceiling > 0 else delta
+
+
+def approx_params(
+    epsilon: float, delta: float, n: int, rho: float = 0.0
+) -> tuple[float, float]:
+    """DP parameters ``(epsilon_dp, delta_dp)`` of the ``rho``-approximate tier.
+
+    The approximate tier trades a bounded error inflation for narrower
+    M-rows (Guha-style synopsis-space coarsening): the DP runs with the
+    inflated bound ``epsilon_dp = (1 + rho) * epsilon`` on the coarsened
+    grid ``delta_dp = 2 * rho * epsilon / levels`` with ``levels =
+    log2(N) + 1`` (one snap at ``c_0`` plus one per combine level).
+
+    Guarantee (asserted by the differential tests): any solution of the
+    exact DP at ``(epsilon, delta)`` maps onto the coarse grid by
+    snapping incoming values top-down — each of the ``levels`` snaps
+    drifts the reconstruction by at most ``delta_dp / 2``, zero
+    coefficients stay zero, so the mapped solution has the same count
+    and error ``<= epsilon + levels * delta_dp / 2 = (1 + rho) *
+    epsilon``.  The approximate DP therefore returns
+
+    * ``size <= size`` of the exact DP at ``(epsilon, delta)``, and
+    * ``max_error <= (1 + rho) * epsilon``
+
+    while every M-row shrinks to ``O((1 + rho) * levels / rho)`` entries
+    — independent of ``epsilon / delta``.  When the requested grid is
+    already at least that coarse (``delta_dp <= delta'``) coarsening
+    cannot help and the exact parameters come back unchanged, so
+    ``rho = 0`` is bit-identical to the exact path by construction.
+    """
+    if rho < 0:
+        raise InvalidInputError("rho must be non-negative")
+    base = effective_delta(epsilon, delta, n)
+    if rho == 0 or epsilon <= 0:
+        return epsilon, base
+    levels = max(n.bit_length() - 1, 1) + 1
+    coarse = 2.0 * rho * epsilon / levels
+    if coarse <= base:
+        return epsilon, base
+    epsilon_dp = (1.0 + rho) * epsilon
+    return epsilon_dp, effective_delta(epsilon_dp, coarse, n)
 
 #: Tie-break weight: rows minimize coefficient count first, then achieved
 #: error.  Scores are ``count * weight + error`` with ``weight > epsilon``.
@@ -163,6 +211,62 @@ class DualSolution:
     max_error: float
     synopsis: WaveletSynopsis
     epsilon: float | None = None
+
+
+#: Child-row entry count below which thread-pool dispatch of a level's
+#: sibling combines costs more than the combines themselves (a task
+#: submission is ~an empty numpy call; a windowed combine only dwarfs it
+#: once rows reach a few hundred entries — benchmarks/bench_dp_kernel.py).
+PARALLEL_MIN_ENTRIES = 256
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One entry of the DP combine-kernel registry.
+
+    ``force`` pins the per-combine kernel (``"scalar"`` /
+    ``"windowed"``; ``None`` keeps the cell-count dispatch), and
+    ``parallel`` runs each tree level's independent sibling combines on
+    a thread pool — the heavy argmin windows release the GIL, so sibling
+    sub-trees overlap on real cores while results are collected in
+    deterministic index order (``Executor.map``, never completion
+    order).  Every spec is bit-identical to every other: the registry
+    only trades time, never output.
+    """
+
+    name: str
+    force: str | None = None
+    parallel: bool = False
+    workers: int | None = None
+
+    def resolved_workers(self) -> int:
+        if self.workers is not None:
+            return max(self.workers, 1)
+        return max(2, min(8, os.cpu_count() or 1))
+
+
+#: The combine-kernel registry (the runtime/shuffle registry pattern):
+#: ``auto`` is the production dispatcher, ``scalar``/``windowed`` pin one
+#: kernel (differential tests, benchmarks), ``parallel`` adds the
+#: thread-pool blocked path for wide rows.  All entries are bit-identical.
+DP_KERNELS: dict[str, KernelSpec] = {
+    "auto": KernelSpec("auto"),
+    "scalar": KernelSpec("scalar", force="scalar"),
+    "windowed": KernelSpec("windowed", force="windowed"),
+    "parallel": KernelSpec("parallel", parallel=True),
+}
+
+
+def resolve_kernel(kernel: str | KernelSpec) -> KernelSpec:
+    """Look up a kernel by registry name (specs pass through unchanged)."""
+    if isinstance(kernel, KernelSpec):
+        return kernel
+    spec = DP_KERNELS.get(kernel)
+    if spec is None:
+        raise InvalidInputError(
+            f"unknown DP kernel {kernel!r}; choose one of {sorted(DP_KERNELS)}"
+        )
+    return spec
 
 
 def leaf_row(value: float, epsilon: float, delta: float) -> MRow:
@@ -248,7 +352,13 @@ def _combined_domain(left: MRow, right: MRow) -> tuple[int, int]:
     return v_start, v_stop
 
 
-def combine_rows(left: MRow, right: MRow, epsilon: float, delta: float) -> MRow:
+def combine_rows(
+    left: MRow,
+    right: MRow,
+    epsilon: float,
+    delta: float,
+    kernel: str | KernelSpec = "auto",
+) -> MRow:
     """Combine two child rows into their parent coefficient node's row.
 
     For incoming ``v``, the node may assign a value ``z`` (cost 1 when
@@ -260,14 +370,20 @@ def combine_rows(left: MRow, right: MRow, epsilon: float, delta: float) -> MRow:
     Dispatches between two kernels with identical results (tested
     entry-for-entry): the windowed batch kernel for real rows, and the
     per-``v`` scalar loop for tiny rows where the batch setup overhead
-    loses (:data:`SCALAR_FALLBACK_CELLS`).
+    loses (:data:`SCALAR_FALLBACK_CELLS`).  A :data:`DP_KERNELS` entry
+    (or spec) pins the choice instead.
     """
+    spec = resolve_kernel(kernel)
     v_start, v_stop = _combined_domain(left, right)
-    if (v_stop - v_start + 1) * len(left) <= SCALAR_FALLBACK_CELLS:
-        kernel = _combine_kernel_scalar
+    if spec.force == "scalar":
+        chosen = _combine_kernel_scalar
+    elif spec.force == "windowed":
+        chosen = _combine_kernel_windowed
+    elif (v_stop - v_start + 1) * len(left) <= SCALAR_FALLBACK_CELLS:
+        chosen = _combine_kernel_scalar
     else:
-        kernel = _combine_kernel_windowed
-    counts, errors, choices = kernel(left, right, v_start, v_stop, epsilon, delta)
+        chosen = _combine_kernel_windowed
+    counts, errors, choices = chosen(left, right, v_start, v_stop, epsilon, delta)
     return _build_row(
         v_start, counts, errors, choices, "no feasible incoming value for combined row"
     )
@@ -341,6 +457,13 @@ def _combine_kernel_windowed(
     row's window without per-``v`` slicing.  One ``argmin`` over the
     ``(v, vl)`` block then resolves every minimum, with the same
     smallest-``vl`` tie-break as the scalar loop (first minimum wins).
+
+    Window starts descend by 2 as ``v`` ascends, so the blocked loop
+    walks the *descending-``v``* row order instead — window starts then
+    ascend and each block streams the padded arrays front-to-back
+    (prefetch-friendly; measurably faster at widths >= 1024 than the
+    back-to-front walk, see BENCH_dp_kernel.json) — and every block's
+    outputs are flipped back into ascending-``v`` order on the way out.
     """
     weight = _lexicographic_weight(epsilon, delta)
     wl = len(left)
@@ -356,14 +479,14 @@ def _combine_kernel_windowed(
     right_errors = np.full(padded, np.inf, dtype=np.float64)
     right_counts[pad_lo : pad_lo + wr] = right.counts[::-1]
     right_errors[pad_lo : pad_lo + wr] = right.errors[::-1]
-    # Window starts descend by exactly 2 per v, so the whole candidate
-    # matrix is a step -2 row slice of the sliding windows — a strided
+    # Row i of the window matrices is v = v_stop - i: a step +2 slice of
+    # the sliding windows starting at the LAST v's window — a strided
     # view, no per-v gather copies.
     window_starts = pad_lo - shifts
-    count_windows = sliding_window_view(right_counts, wl)[int(window_starts[0]) :: -2][
+    count_windows = sliding_window_view(right_counts, wl)[int(window_starts[-1]) :: 2][
         :width
     ]
-    error_windows = sliding_window_view(right_errors, wl)[int(window_starts[0]) :: -2][
+    error_windows = sliding_window_view(right_errors, wl)[int(window_starts[-1]) :: 2][
         :width
     ]
 
@@ -386,6 +509,7 @@ def _combine_kernel_windowed(
     total_counts = np.empty((first, wl), dtype=np.int32)
     total_errors = np.empty((first, wl), dtype=np.float64)
     scores = np.empty((first, wl), dtype=np.float64)
+    descending_vs = vs[::-1]
     for begin in range(0, width, block):
         end = min(begin + block, width)
         rows = end - begin
@@ -394,7 +518,7 @@ def _combine_kernel_windowed(
         scores_block = scores[:rows]
         np.add(count_windows[begin:end], left_counts_plus_one, out=counts_block)
         np.maximum(error_windows[begin:end], left_errors, out=errors_block)
-        v_block = vs[begin:end]
+        v_block = descending_vs[begin:end]
         zero_rows = np.nonzero((v_block >= zero_lo) & (v_block <= zero_hi))[0]
         if len(zero_rows):
             # z == 0 stores nothing; applied to the integer counts BEFORE
@@ -405,9 +529,12 @@ def _combine_kernel_windowed(
         np.add(scores_block, errors_block, out=scores_block)
         best = np.argmin(scores_block, axis=1)
         picked = np.arange(rows, dtype=np.int64)
-        counts[begin:end] = counts_block[picked, best]
-        errors[begin:end] = errors_block[picked, best]
-        choices[begin:end] = left.start + best
+        # Rows begin..end of the descending-v walk land, flipped, at the
+        # mirrored slice of the ascending-v output.
+        out = slice(width - end, width - begin)
+        counts[out] = counts_block[picked, best][::-1]
+        errors[out] = errors_block[picked, best][::-1]
+        choices[out] = (left.start + best)[::-1]
     return counts, errors, choices
 
 
@@ -512,8 +639,73 @@ def combine_rows_restricted_scalar(
     )
 
 
+def _run_levels(
+    leaf_rows: Sequence[MRow],
+    spec: KernelSpec,
+    node_combine: Callable[[int, MRow, MRow], MRow],
+) -> list[MRow | None]:
+    """Walk a sub-tree level by level, bottom-up.
+
+    All nodes of one level combine independent child pairs, so a level is
+    an embarrassingly parallel batch: the ``parallel`` kernel runs it on
+    a thread pool (the windowed kernel's numpy reductions release the
+    GIL) once its child rows are wide enough to amortize task dispatch
+    (:data:`PARALLEL_MIN_ENTRIES`).  Results are collected with
+    ``Executor.map`` — index order, never completion order — so the row
+    table is identical to the serial walk's, and infeasibility inside a
+    level deterministically surfaces from the lowest node index.
+    """
+    m = len(leaf_rows)
+    rows: list[MRow | None] = [None] * m
+    executor = (
+        ThreadPoolExecutor(max_workers=spec.resolved_workers())
+        if spec.parallel and m >= 4
+        else None
+    )
+
+    def child_rows(j: int) -> tuple[MRow, MRow]:
+        if j >= m // 2:  # bottom level: children are the input leaf rows
+            return leaf_rows[2 * j - m], leaf_rows[2 * j + 1 - m]
+        left, right = rows[2 * j], rows[2 * j + 1]
+        assert left is not None and right is not None
+        return left, right
+
+    def run_level(level_nodes: range) -> None:
+        pairs = [child_rows(j) for j in level_nodes]
+        if executor is not None and len(pairs) > 1 and any(
+            max(len(left), len(right)) >= PARALLEL_MIN_ENTRIES for left, right in pairs
+        ):
+            combined = list(
+                executor.map(
+                    lambda task: node_combine(task[0], task[1][0], task[1][1]),
+                    zip(level_nodes, pairs),
+                )
+            )
+        else:
+            combined = [
+                node_combine(j, left, right)
+                for j, (left, right) in zip(level_nodes, pairs)
+            ]
+        for j, row in zip(level_nodes, combined):
+            rows[j] = row
+
+    try:
+        size = m // 2
+        while size >= 1:
+            run_level(range(size, 2 * size))
+            size //= 2
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False)
+    return rows
+
+
 def compute_subtree_rows_restricted(
-    leaf_rows: list[MRow], coefficients: ArrayLike, epsilon: float, delta: float
+    leaf_rows: list[MRow],
+    coefficients: ArrayLike,
+    epsilon: float,
+    delta: float,
+    kernel: str | KernelSpec = "auto",
 ) -> list[MRow | None]:
     """Restricted-variant DP over one sub-tree.
 
@@ -525,23 +717,24 @@ def compute_subtree_rows_restricted(
         raise InvalidInputError("leaf count must be a power of two")
     if m == 1:
         return [leaf_rows[0]]
+    spec = resolve_kernel(kernel)
+    local = np.asarray(coefficients, dtype=np.float64)
 
-    def snapped(node: int) -> int:
-        return int(round(float(coefficients[node]) / delta))
+    def node_combine(j: int, left: MRow, right: MRow) -> MRow:
+        z_offset = int(round(float(local[j]) / delta))
+        if spec.force == "scalar":
+            return combine_rows_restricted_scalar(left, right, z_offset, epsilon, delta)
+        return combine_rows_restricted(left, right, z_offset, epsilon, delta)
 
-    rows: list[MRow | None] = [None] * m
-    for j in range(m - 1, m // 2 - 1, -1):
-        rows[j] = combine_rows_restricted(
-            leaf_rows[2 * j - m], leaf_rows[2 * j + 1 - m], snapped(j), epsilon, delta
-        )
-    for j in range(m // 2 - 1, 0, -1):
-        rows[j] = combine_rows_restricted(
-            rows[2 * j], rows[2 * j + 1], snapped(j), epsilon, delta
-        )
-    return rows
+    return _run_levels(leaf_rows, spec, node_combine)
 
 
-def compute_subtree_rows(leaf_rows: list[MRow], epsilon: float, delta: float) -> list[MRow | None]:
+def compute_subtree_rows(
+    leaf_rows: list[MRow],
+    epsilon: float,
+    delta: float,
+    kernel: str | KernelSpec = "auto",
+) -> list[MRow | None]:
     """Run the DP bottom-up over a complete sub-tree of ``m`` leaves.
 
     ``leaf_rows[i]`` is the row of the ``i``-th leaf — a data leaf
@@ -555,12 +748,12 @@ def compute_subtree_rows(leaf_rows: list[MRow], epsilon: float, delta: float) ->
     if m == 1:
         # Degenerate sub-tree: no internal coefficient nodes.
         return [leaf_rows[0]]
-    rows: list[MRow | None] = [None] * m
-    for j in range(m - 1, m // 2 - 1, -1):
-        rows[j] = combine_rows(leaf_rows[2 * j - m], leaf_rows[2 * j + 1 - m], epsilon, delta)
-    for j in range(m // 2 - 1, 0, -1):
-        rows[j] = combine_rows(rows[2 * j], rows[2 * j + 1], epsilon, delta)
-    return rows
+    spec = resolve_kernel(kernel)
+
+    def node_combine(j: int, left: MRow, right: MRow) -> MRow:
+        return combine_rows(left, right, epsilon, delta, kernel=spec)
+
+    return _run_levels(leaf_rows, spec, node_combine)
 
 
 def traceback_subtree(
@@ -632,14 +825,22 @@ def finalize_root_restricted(
     return best[1], best[2], best[3]
 
 
-def min_haar_space_restricted(data: ArrayLike, epsilon: float, delta: float) -> DualSolution:
+def min_haar_space_restricted(
+    data: ArrayLike,
+    epsilon: float,
+    delta: float,
+    rho: float = 0.0,
+    kernel: str | KernelSpec = "auto",
+) -> DualSolution:
     """Restricted MinHaarSpace: minimum-size synopsis with error <= epsilon,
     retaining only (grid-snapped) original Haar coefficient values.
 
     Same dual problem as :func:`min_haar_space` over the classic restricted
     search space; needs at least as many coefficients as the unrestricted
     solver for the same bound (tested).  Demonstrates that the Section 4
-    framework's row algebra is not specific to one DP.
+    framework's row algebra is not specific to one DP.  ``rho`` selects
+    the approximate tier (:func:`approx_params`); ``kernel`` picks a
+    :data:`DP_KERNELS` entry.
     """
     from repro.wavelet.transform import haar_transform
 
@@ -647,14 +848,19 @@ def min_haar_space_restricted(data: ArrayLike, epsilon: float, delta: float) -> 
     if values.ndim != 1 or not is_power_of_two(values.shape[0]):
         raise InvalidInputError("data length must be a power of two")
     n = int(values.shape[0])
-    delta = effective_delta(epsilon, delta, n)
+    epsilon_dp, delta = approx_params(epsilon, delta, n, rho)
     coefficients = haar_transform(values)
 
-    leaves = leaf_rows(values, epsilon, delta)
-    rows = compute_subtree_rows_restricted(leaves, coefficients, epsilon, delta)
+    leaves = leaf_rows(values, epsilon_dp, delta)
+    rows = compute_subtree_rows_restricted(
+        leaves, coefficients, epsilon_dp, delta, kernel=kernel
+    )
     root_row = rows[1] if n > 1 else rows[0]
+    assert root_row is not None
     average_offset = int(round(float(coefficients[0]) / delta))
-    size, error, chosen = finalize_root_restricted(root_row, average_offset, epsilon, delta)
+    size, error, chosen = finalize_root_restricted(
+        root_row, average_offset, epsilon_dp, delta
+    )
 
     retained: dict[int, float] = {}
     if chosen != 0:
@@ -670,29 +876,43 @@ def min_haar_space_restricted(data: ArrayLike, epsilon: float, delta: float) -> 
             "algorithm": "MinHaarSpaceRestricted",
             "epsilon": epsilon,
             "delta": delta,
+            "rho": rho,
             "max_abs_error": error,
         },
     )
     return DualSolution(size=size, max_error=error, synopsis=synopsis, epsilon=epsilon)
 
 
-def min_haar_space(data: ArrayLike, epsilon: float, delta: float) -> DualSolution:
+def min_haar_space(
+    data: ArrayLike,
+    epsilon: float,
+    delta: float,
+    rho: float = 0.0,
+    kernel: str | KernelSpec = "auto",
+) -> DualSolution:
     """Centralized MinHaarSpace: minimum-size synopsis with error <= epsilon.
 
     Raises :class:`InfeasibleErrorBound` when the quantized search space
     admits no solution (callers such as IndirectHaar treat this as
     "epsilon too small" and search upward).
+
+    ``rho > 0`` selects the approximate tier: the DP runs at the
+    coarsened :func:`approx_params` grid, returning a synopsis of at most
+    the exact solver's size with ``max_error <= (1 + rho) * epsilon``
+    (``rho = 0`` is bit-identical to the exact path).  ``kernel`` picks a
+    :data:`DP_KERNELS` entry.
     """
     values = np.asarray(data, dtype=np.float64)
     if values.ndim != 1 or not is_power_of_two(values.shape[0]):
         raise InvalidInputError("data length must be a power of two")
     n = int(values.shape[0])
-    delta = effective_delta(epsilon, delta, n)
+    epsilon_dp, delta = approx_params(epsilon, delta, n, rho)
 
-    leaves = leaf_rows(values, epsilon, delta)
-    rows = compute_subtree_rows(leaves, epsilon, delta)
+    leaves = leaf_rows(values, epsilon_dp, delta)
+    rows = compute_subtree_rows(leaves, epsilon_dp, delta, kernel=kernel)
     root_row = rows[1] if n > 1 else rows[0]
-    size, error, chosen = finalize_root(root_row, epsilon, delta)
+    assert root_row is not None
+    size, error, chosen = finalize_root(root_row, epsilon_dp, delta)
 
     coefficients: dict[int, float] = {}
     if chosen != 0:
@@ -708,6 +928,7 @@ def min_haar_space(data: ArrayLike, epsilon: float, delta: float) -> DualSolutio
             "algorithm": "MinHaarSpace",
             "epsilon": epsilon,
             "delta": delta,
+            "rho": rho,
             "max_abs_error": error,
         },
     )

@@ -9,8 +9,9 @@ PS001/002   process-safety: jobs must pickle and must not write driver
             state from task methods (or declare ``process_safe = False``)
 DT001-003   determinism: no set-order emits, unseeded RNGs, or
             ``id()``-keyed dicts
-KC001-003   kernel contracts (``algos/``, ``bench/``): explicit dtypes,
-            intentional float equality, no argument mutation
+KC001-004   kernel contracts (``algos/``, ``bench/``): explicit dtypes,
+            intentional float equality, no argument mutation, no
+            completion-order or set-order result collection
 AH001-003   API hygiene: mutable defaults, bare ``except``, ``__all__``
             drift in package ``__init__`` files
 TG001       typing gate: every definition fully annotated
@@ -44,6 +45,7 @@ from repro.analysis.kernel_contracts import (
     FloatLiteralEquality,
     MissingExplicitDtype,
     MutatedArgument,
+    NondeterministicCollection,
 )
 from repro.analysis.process_safety import JobNotModuleLevel, TaskMethodMutatesSelf
 from repro.analysis.typing_gate import UnannotatedDefinition
@@ -58,6 +60,7 @@ __all__ = [
     "MissingExplicitDtype",
     "MutableDefaultArgument",
     "MutatedArgument",
+    "NondeterministicCollection",
     "ParsedModule",
     "Rule",
     "SetIterationIntoEmit",
@@ -84,6 +87,7 @@ def all_rules() -> list[Rule]:
         MissingExplicitDtype(),
         FloatLiteralEquality(),
         MutatedArgument(),
+        NondeterministicCollection(),
         MutableDefaultArgument(),
         BareExcept(),
         AllDrift(),

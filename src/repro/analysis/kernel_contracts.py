@@ -15,6 +15,12 @@ contracts keep that promise honest:
 * **KC003** — in-place mutation of function arguments (``arg[i] = ...``,
   ``arg += ...``): kernels are called in interleaved benchmark loops, so
   clobbering inputs corrupts the next repetition.
+* **KC004** — completion-order or hash-order iteration
+  (``as_completed``/``imap_unordered``, looping over a set) in kernel
+  code: the parallel level walk stays bit-identical to the serial one
+  only because results are collected in submission order
+  (``Executor.map``); completion order varies run to run and set order
+  varies across interpreter seeds.
 """
 
 from __future__ import annotations
@@ -26,7 +32,12 @@ from typing import ClassVar
 
 from repro.analysis.core import Finding, ParsedModule, Rule, dotted_name
 
-__all__ = ["FloatLiteralEquality", "MissingExplicitDtype", "MutatedArgument"]
+__all__ = [
+    "FloatLiteralEquality",
+    "MissingExplicitDtype",
+    "MutatedArgument",
+    "NondeterministicCollection",
+]
 
 #: Allocation call -> index of its positional ``dtype`` slot.
 _ALLOCATORS = {
@@ -172,3 +183,48 @@ class MutatedArgument(_KernelRule):
                     f"function {function.name!r} mutates its argument {name!r} "
                     "in place; copy first or write to a fresh array",
                 )
+
+
+#: Futures/pool helpers that yield results in *completion* order.
+_COMPLETION_ORDER_CALLS = {"as_completed", "imap_unordered"}
+
+
+class NondeterministicCollection(_KernelRule):
+    """KC004: parallel kernels must collect results in submission order."""
+
+    rule_id: ClassVar[str] = "KC004"
+    summary: ClassVar[str] = (
+        "completion-order or set-order iteration in kernel code; the parallel "
+        "level walk is bit-identical to the serial one only under "
+        "submission-order collection (Executor.map)"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                chain = dotted_name(node.func)
+                if chain is not None and chain.split(".")[-1] in _COMPLETION_ORDER_CALLS:
+                    yield module.finding(
+                        self.rule_id,
+                        node,
+                        f"{chain}(...) yields results in completion order, which "
+                        "varies run to run; collect with Executor.map "
+                        "(submission order) instead",
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expression(node.iter):
+                    yield module.finding(
+                        self.rule_id,
+                        node,
+                        "iterating a set in kernel code; set order is "
+                        "hash-dependent — iterate a sorted() or list view instead",
+                    )
+
+    @staticmethod
+    def _is_set_expression(expression: ast.expr) -> bool:
+        if isinstance(expression, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expression, ast.Call):
+            chain = dotted_name(expression.func)
+            return chain in {"set", "frozenset"}
+        return False

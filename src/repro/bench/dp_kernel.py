@@ -4,10 +4,13 @@ Times :func:`repro.algos.minhaarspace.combine_rows` (the production
 dispatcher, which routes real rows to the windowed batch kernel) against
 :func:`repro.algos.minhaarspace.combine_rows_scalar` (the retained
 per-``v`` reference) across row widths, plus the batched
-:func:`repro.algos.minhaarspace.leaf_rows` against a per-leaf loop.
-Results land in ``BENCH_dp_kernel.json`` at the repo root (written by
-``benchmarks/bench_dp_kernel.py``) — the perf-regression baseline future
-PRs diff against.
+:func:`repro.algos.minhaarspace.leaf_rows` against a per-leaf loop, plus
+two end-to-end approximate-tier sweeps (:func:`bench_rho_build` /
+:func:`bench_rho_distributed`) that measure whole-build speedups per
+coarsening knob ``rho`` *and* check the tier's proven guarantees on the
+way.  Results land in ``BENCH_dp_kernel.json`` at the repo root (written
+by ``benchmarks/bench_dp_kernel.py``) — the perf-regression baseline
+future PRs diff against.
 
 Row width here is ``|domain|`` of each child row, i.e. ``~2·epsilon/delta``
 entries; ``effective_delta`` keeps production widths within this grid
@@ -30,13 +33,28 @@ from repro.algos.minhaarspace import (
     combine_rows_scalar,
     leaf_row,
     leaf_rows,
+    min_haar_space,
 )
 
-__all__ = ["DP_KERNEL_WIDTHS", "bench_combine_widths", "bench_leaf_batch", "combine_inputs"]
+__all__ = [
+    "DP_KERNEL_WIDTHS",
+    "DP_RHO_GRID",
+    "bench_combine_widths",
+    "bench_leaf_batch",
+    "bench_rho_build",
+    "bench_rho_distributed",
+    "combine_inputs",
+    "rho_build_inputs",
+]
 
 #: Default row-width grid.  16 sits in the scalar-fallback region (the
-#: dispatcher must not lose there); 64+ is the windowed kernel's domain.
-DP_KERNEL_WIDTHS = [16, 32, 64, 128, 256, 512, 1024]
+#: dispatcher must not lose there); 64+ is the windowed kernel's domain,
+#: and 2048/4096 track the large-width cliff the blocked forward walk
+#: flattens (the sag past width 128 that motivated the approximate tier).
+DP_KERNEL_WIDTHS = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+
+#: Coarsening knobs of the end-to-end approximate-tier sweeps.
+DP_RHO_GRID = [0.05, 0.1, 0.25]
 
 
 def combine_inputs(width: int, seed: int = 7) -> tuple[MRow, MRow, float]:
@@ -112,4 +130,142 @@ def bench_leaf_batch(
         "vectorized_seconds": batched_seconds,
         "reference_seconds": loop_seconds,
         "speedup": loop_seconds / batched_seconds,
+    }
+
+
+def rho_build_inputs(n: int, seed: int = 7) -> tuple[np.ndarray, float, float]:
+    """Reproducible end-to-end build input: a random walk plus the
+    ``(epsilon, delta)`` regime where quantization dominates DP cost
+    (fine grid relative to the error band, so exact M-rows are wide)."""
+    rng = np.random.default_rng(seed)
+    data = np.cumsum(rng.normal(0.0, 1.0, n))
+    return data, 3.0, 0.01
+
+
+def bench_rho_build(
+    n: int = 2048,
+    rhos: Sequence[float] | None = None,
+    reps: int = 2,
+    seed: int = 7,
+) -> dict:
+    """End-to-end MinHaarSpace build: exact DP vs the approximate tier.
+
+    One row per ``rho``, each carrying the measured speedup over the
+    exact build *and* the guarantee checks of
+    :func:`repro.algos.minhaarspace.approx_params` — ``max_error <=
+    (1 + rho) * epsilon`` and ``size <=`` the exact solver's size — so a
+    baseline refresh that violated the proof would fail before it ever
+    landed.
+    """
+    if rhos is None:
+        rhos = DP_RHO_GRID
+    data, epsilon, delta = rho_build_inputs(n, seed)
+    exact = min_haar_space(data, epsilon, delta)
+    exact_seconds = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        min_haar_space(data, epsilon, delta)
+        exact_seconds = min(exact_seconds, time.perf_counter() - start)
+    rows = []
+    for rho in rhos:
+        approx = min_haar_space(data, epsilon, delta, rho=rho)
+        seconds = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            min_haar_space(data, epsilon, delta, rho=rho)
+            seconds = min(seconds, time.perf_counter() - start)
+        error_bound = (1.0 + rho) * epsilon
+        rows.append(
+            {
+                "rho": rho,
+                "seconds": seconds,
+                "speedup": exact_seconds / seconds,
+                "size": approx.size,
+                "max_error": approx.max_error,
+                "error_bound": error_bound,
+                "within_bound": bool(approx.max_error <= error_bound + 1e-9),
+                "size_ok": bool(approx.size <= exact.size),
+            }
+        )
+    return {
+        "n": n,
+        "epsilon": epsilon,
+        "delta": delta,
+        "exact_seconds": exact_seconds,
+        "exact_size": exact.size,
+        "exact_error": exact.max_error,
+        "rows": rows,
+    }
+
+
+def bench_rho_distributed(
+    n: int = 1024,
+    budget: int | None = None,
+    subtree_leaves: int = 256,
+    rhos: Sequence[float] | None = None,
+    reps: int = 1,
+    seed: int = 7,
+) -> dict:
+    """End-to-end DIndirectHaar build: exact probes vs coarsened probes.
+
+    The primal guarantee checked per ``rho`` row is ``max_error <=
+    (1 + rho) * (E_exact + resolution)`` with the same
+    :func:`repro.algos.indirect_haar.search_resolution` the driver uses,
+    plus ``size <= budget`` — i.e. coarsening may never buy speed by
+    overspending the budget.
+    """
+    from repro.algos.conventional import conventional_synopsis
+    from repro.algos.indirect_haar import search_resolution
+    from repro.core.dindirect import d_indirect_haar
+
+    if rhos is None:
+        rhos = DP_RHO_GRID
+    data, _, delta = rho_build_inputs(n, seed)
+    if budget is None:
+        budget = max(n // 16, 1)
+    error_high = conventional_synopsis(data, budget).max_abs_error(data)
+
+    exact = d_indirect_haar(data, budget, delta, subtree_leaves=subtree_leaves)
+    exact_seconds = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        d_indirect_haar(data, budget, delta, subtree_leaves=subtree_leaves)
+        exact_seconds = min(exact_seconds, time.perf_counter() - start)
+    exact_error = float(exact.meta["max_abs_error"])
+    rows = []
+    for rho in rhos:
+        approx = d_indirect_haar(
+            data, budget, delta, subtree_leaves=subtree_leaves, rho=rho
+        )
+        seconds = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            d_indirect_haar(data, budget, delta, subtree_leaves=subtree_leaves, rho=rho)
+            seconds = min(seconds, time.perf_counter() - start)
+        resolution = search_resolution(error_high, delta, n, rho)
+        error_bound = (1.0 + rho) * (exact_error + resolution)
+        max_error = float(approx.meta["max_abs_error"])
+        rows.append(
+            {
+                "rho": rho,
+                "seconds": seconds,
+                "speedup": exact_seconds / seconds,
+                "size": approx.size,
+                "dp_runs": approx.meta["dp_runs"],
+                "max_error": max_error,
+                "error_bound": error_bound,
+                "within_bound": bool(max_error <= error_bound + 1e-9),
+                "budget_ok": bool(approx.size <= budget),
+            }
+        )
+    return {
+        "n": n,
+        "budget": budget,
+        "delta": delta,
+        "subtree_leaves": subtree_leaves,
+        "exact_seconds": exact_seconds,
+        "exact_size": exact.size,
+        "exact_error": exact_error,
+        "exact_dp_runs": exact.meta["dp_runs"],
+        "rows": rows,
     }

@@ -23,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.algos.minhaarspace import DP_KERNELS
 from repro.core.thresholding import ALGORITHMS, build_synopsis
 from repro.exceptions import ReproError
 from repro.mapreduce.cluster import RUNTIMES, SimulatedCluster, make_runtime
@@ -80,6 +81,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         sanity_bound=args.sanity_bound,
         subtree_leaves=args.subtree_leaves,
         cluster=cluster,
+        rho=args.dp_rho,
+        dp_kernel=args.dp_kernel,
     )
     if args.trace:
         Path(args.trace).write_text(json.dumps(cluster.log.trace(), indent=2))
@@ -158,6 +161,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="dgreedy-abs", choices=sorted(ALGORITHMS)
     )
     build.add_argument("--delta", type=float, default=1.0, help="DP quantization step")
+    build.add_argument(
+        "--dp-rho",
+        type=float,
+        default=0.0,
+        help="approximate DP tier coarsening knob: 0 is the exact DP, "
+        "rho > 0 inflates the achieved error by at most (1 + rho) while "
+        "shrinking M-rows and shuffle bytes (indirect-haar*/dindirect-haar*)",
+    )
+    build.add_argument(
+        "--dp-kernel",
+        default="auto",
+        choices=sorted(DP_KERNELS),
+        help="DP combine kernel: 'auto' dispatches per row size, "
+        "'scalar'/'windowed' pin one kernel, 'parallel' adds a thread "
+        "pool over each level's sibling sub-trees; all are bit-identical",
+    )
     build.add_argument(
         "--sanity-bound", type=float, default=DEFAULT_SANITY_BOUND, help="rel-error S"
     )

@@ -22,7 +22,7 @@ from typing import Any
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
-from repro.algos.indirect_haar import indirect_haar_search
+from repro.algos.indirect_haar import indirect_haar_search, search_resolution
 from repro.core.conventional_dist import con_synopsis
 from repro.algos.minhaarspace import DualSolution
 from repro.core.dp_framework import dm_haar_space
@@ -146,6 +146,8 @@ def d_indirect_haar(
     subtree_leaves: int = 1024,
     max_iterations: int = 48,
     restricted: bool = False,
+    rho: float = 0.0,
+    kernel: str = "auto",
 ) -> WaveletSynopsis:
     """DIndirectHaar: Problem 1 at cluster scale (Algorithm 2 + Section 4).
 
@@ -153,6 +155,12 @@ def d_indirect_haar(
     every probe answered by DMHaarSpace.  The synopsis matches the
     centralized IndirectHaar coefficient-for-coefficient because both the
     bounds and the DP are computed exactly.
+
+    ``rho > 0`` runs every DMHaarSpace probe (and the final constructing
+    run) at the coarsened approximate tier, shrinking the shipped M-rows
+    — and with them the Eq. 6 communication per layer — while keeping
+    ``size <= budget`` and the :func:`~repro.algos.indirect_haar.indirect_haar`
+    error guarantee.  ``kernel`` picks the map-side combine kernel.
     """
     values = np.asarray(data, dtype=np.float64)
     if values.ndim != 1 or not is_power_of_two(values.shape[0]):
@@ -187,7 +195,9 @@ def d_indirect_haar(
     # round-off-level errors as an exact conventional synopsis.
     exactness = 1e-9 * (1.0 + float(np.max(np.abs(values))))
     if error_high <= exactness:
-        conventional.meta.update({"algorithm": "DIndirectHaar", "dp_runs": 0})
+        conventional.meta.update(
+            {"algorithm": "DIndirectHaar", "dp_runs": 0, "rho": rho}
+        )
         return conventional
 
     # Probes skip the top-down pass; only the winning bound is constructed.
@@ -202,10 +212,17 @@ def d_indirect_haar(
             subtree_leaves=subtree_leaves,
             construct=False,
             restricted=restricted,
+            rho=rho,
+            kernel=kernel,
         )
 
     best, runs = indirect_haar_search(
-        solver, error_low, error_high, budget, delta, max_iterations
+        solver,
+        error_low,
+        error_high,
+        budget,
+        search_resolution(error_high, delta, n, rho),
+        max_iterations,
     )
     final = dm_haar_space(
         values,
@@ -215,6 +232,8 @@ def d_indirect_haar(
         subtree_leaves=subtree_leaves,
         construct=True,
         restricted=restricted,
+        rho=rho,
+        kernel=kernel,
     )
     synopsis = final.synopsis
     synopsis.meta.update(
@@ -222,6 +241,7 @@ def d_indirect_haar(
             "algorithm": "DIndirectHaar",
             "budget": budget,
             "delta": delta,
+            "rho": rho,
             "max_abs_error": final.max_error,
             "dp_runs": runs,
             "cluster": cluster.log.as_dict(),

@@ -33,12 +33,14 @@ from numpy.typing import ArrayLike
 
 from repro.algos.minhaarspace import (
     DualSolution,
+    KernelSpec,
     MRow,
     combine_rows,
     compute_subtree_rows,
     finalize_root,
     leaf_row,
     leaf_rows,
+    resolve_kernel,
     traceback_subtree,
 )
 from repro.exceptions import InfeasibleErrorBound, InvalidInputError
@@ -87,11 +89,14 @@ class RowDP:
 class MinHaarSpaceDP(RowDP):
     """MinHaarSpace as a pluggable row DP (rows keyed by incoming value)."""
 
-    def __init__(self, epsilon: float, delta: float) -> None:
+    def __init__(
+        self, epsilon: float, delta: float, kernel: str | KernelSpec = "auto"
+    ) -> None:
         if delta <= 0:
             raise InvalidInputError("delta must be strictly positive")
         self.epsilon = float(epsilon)
         self.delta = float(delta)
+        self.kernel = resolve_kernel(kernel)
 
     def leaf_row(self, value: float) -> MRow:
         return leaf_row(value, self.epsilon, self.delta)
@@ -102,10 +107,10 @@ class MinHaarSpaceDP(RowDP):
     def subtree_rows(
         self, leaf_rows: list[MRow], leaf_values: ArrayLike | None = None
     ) -> list[MRow | None]:
-        return compute_subtree_rows(leaf_rows, self.epsilon, self.delta)
+        return compute_subtree_rows(leaf_rows, self.epsilon, self.delta, kernel=self.kernel)
 
     def combine(self, left: MRow, right: MRow) -> MRow:
-        return combine_rows(left, right, self.epsilon, self.delta)
+        return combine_rows(left, right, self.epsilon, self.delta, kernel=self.kernel)
 
     def finalize(self, root_row: MRow, overall_average: float = 0.0) -> tuple[int, float, int]:
         return finalize_root(root_row, self.epsilon, self.delta)
@@ -124,11 +129,14 @@ class MinHaarSpaceRestrictedDP(RowDP):
     over unchanged — the demonstration that Section 4 is DP-agnostic.
     """
 
-    def __init__(self, epsilon: float, delta: float) -> None:
+    def __init__(
+        self, epsilon: float, delta: float, kernel: str | KernelSpec = "auto"
+    ) -> None:
         if delta <= 0:
             raise InvalidInputError("delta must be strictly positive")
         self.epsilon = float(epsilon)
         self.delta = float(delta)
+        self.kernel = resolve_kernel(kernel)
 
     def leaf_row(self, value: float) -> MRow:
         return leaf_row(value, self.epsilon, self.delta)
@@ -146,7 +154,7 @@ class MinHaarSpaceRestrictedDP(RowDP):
             raise InvalidInputError("the restricted DP needs the sub-tree leaf values")
         local_coefficients = haar_transform(np.asarray(leaf_values, dtype=np.float64))
         return compute_subtree_rows_restricted(
-            leaf_rows, local_coefficients, self.epsilon, self.delta
+            leaf_rows, local_coefficients, self.epsilon, self.delta, kernel=self.kernel
         )
 
     def finalize(self, root_row: MRow, overall_average: float = 0.0) -> tuple[int, float, int]:
@@ -347,6 +355,8 @@ def dm_haar_space(
     subtree_leaves: int = 1024,
     construct: bool = True,
     restricted: bool = False,
+    rho: float = 0.0,
+    kernel: str | KernelSpec = "auto",
 ) -> DualSolution:
     """DMHaarSpace: the distributed MinHaarSpace (Section 4).
 
@@ -356,19 +366,27 @@ def dm_haar_space(
     skips the top-down pass (enough for the probes of the binary search);
     ``restricted=True`` swaps in the restricted-synopsis DP
     (:class:`MinHaarSpaceRestrictedDP`).
+
+    ``rho > 0`` runs the whole layered DP at the coarsened
+    :func:`~repro.algos.minhaarspace.approx_params` grid — every shipped
+    M-row shrinks accordingly, and the Eq. 6 checker
+    (:func:`repro.observe.bounds.check_dmhaarspace_trace`) budgets with
+    the same coarsened parameters.  ``kernel`` picks a
+    :data:`~repro.algos.minhaarspace.DP_KERNELS` entry for the map-side
+    sub-tree DPs.
     """
     values = np.asarray(data, dtype=np.float64)
     if values.ndim != 1 or not is_power_of_two(values.shape[0]):
         raise InvalidInputError("data length must be a power of two")
     n = int(values.shape[0])
     cluster = cluster or SimulatedCluster()
-    from repro.algos.minhaarspace import effective_delta
+    from repro.algos.minhaarspace import approx_params
 
-    delta = effective_delta(epsilon, delta, n)
+    epsilon_dp, delta = approx_params(epsilon, delta, n, rho)
     dp: RowDP = (
-        MinHaarSpaceRestrictedDP(epsilon, delta)
+        MinHaarSpaceRestrictedDP(epsilon_dp, delta, kernel=kernel)
         if restricted
-        else MinHaarSpaceDP(epsilon, delta)
+        else MinHaarSpaceDP(epsilon_dp, delta, kernel=kernel)
     )
 
     if n == 1:
@@ -376,7 +394,7 @@ def dm_haar_space(
             from repro.algos.minhaarspace import min_haar_space, min_haar_space_restricted
 
             solver = min_haar_space_restricted if restricted else min_haar_space
-            return solver(values, epsilon, delta)
+            return solver(values, epsilon, delta, rho=rho, kernel=kernel)
 
     driver = LayeredDPDriver(dp, cluster, subtree_leaves)
     result = driver.bottom_up(values)
@@ -396,6 +414,7 @@ def dm_haar_space(
             "algorithm": "DMHaarSpaceRestricted" if restricted else "DMHaarSpace",
             "epsilon": epsilon,
             "delta": delta,
+            "rho": rho,
             "max_abs_error": error,
             "constructed": construct,
         },

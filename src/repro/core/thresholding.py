@@ -60,6 +60,8 @@ def build_synopsis(
     sanity_bound: float = DEFAULT_SANITY_BOUND,
     subtree_leaves: int = 1024,
     pad: bool = True,
+    rho: float = 0.0,
+    dp_kernel: str = "auto",
 ) -> WaveletSynopsis:
     """Build a ``budget``-coefficient wavelet synopsis of ``data``.
 
@@ -87,6 +89,15 @@ def build_synopsis(
         The ``S`` of the relative error metric.
     subtree_leaves:
         Sub-tree size for the distributed partitionings.
+    rho:
+        Coarsening knob of the approximate DP tier (DP-based algorithms
+        only).  ``0`` is the exact DP; ``rho > 0`` trades an error
+        inflation of at most ``(1 + rho)`` for narrower M-rows — see
+        :func:`repro.algos.minhaarspace.approx_params`.
+    dp_kernel:
+        Combine-kernel registry entry for the DP-based algorithms
+        (:data:`repro.algos.minhaarspace.DP_KERNELS`); all entries are
+        bit-identical, the knob only trades time.
     """
     if algorithm not in ALGORITHMS:
         raise InvalidInputError(
@@ -113,9 +124,11 @@ def build_synopsis(
     if algorithm == "greedy-rel":
         return greedy_rel(values, budget, sanity_bound)
     if algorithm == "indirect-haar":
-        return indirect_haar(values, budget, delta)
+        return indirect_haar(values, budget, delta, rho=rho, kernel=dp_kernel)
     if algorithm == "indirect-haar-restricted":
-        return indirect_haar(values, budget, delta, restricted=True)
+        return indirect_haar(
+            values, budget, delta, restricted=True, rho=rho, kernel=dp_kernel
+        )
     if algorithm == "conventional":
         return conventional_synopsis(values, budget)
 
@@ -127,10 +140,19 @@ def build_synopsis(
             values, budget, sanity_bound, cluster, base_leaves=subtree_leaves
         )
     if algorithm == "dindirect-haar":
-        return d_indirect_haar(values, budget, delta, cluster, subtree_leaves)
+        return d_indirect_haar(
+            values, budget, delta, cluster, subtree_leaves, rho=rho, kernel=dp_kernel
+        )
     if algorithm == "dindirect-haar-restricted":
         return d_indirect_haar(
-            values, budget, delta, cluster, subtree_leaves, restricted=True
+            values,
+            budget,
+            delta,
+            cluster,
+            subtree_leaves,
+            restricted=True,
+            rho=rho,
+            kernel=dp_kernel,
         )
     if algorithm == "con":
         return con_synopsis(values, budget, cluster, split_size=subtree_leaves)

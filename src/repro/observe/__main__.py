@@ -62,6 +62,13 @@ def main(argv: list[str] | None = None) -> int:
         help="check dp.bottom_up jobs against their Eq. 6 layer budgets; "
         "exit non-zero on violation",
     )
+    parser.add_argument(
+        "--rho",
+        type=float,
+        default=0.0,
+        help="coarsening knob the checked run was built with (--dp-rho); "
+        "the Eq. 6 budgets then use the coarsened approximate-tier grid",
+    )
     args = parser.parse_args(argv)
     failed = False
     for path in args.traces:
@@ -79,7 +86,7 @@ def main(argv: list[str] | None = None) -> int:
             if args.check_dp is not None:
                 n_f, subtree_leaves_f, epsilon, delta = args.check_dp
                 checks = check_dmhaarspace_trace(
-                    trace, int(n_f), int(subtree_leaves_f), epsilon, delta
+                    trace, int(n_f), int(subtree_leaves_f), epsilon, delta, args.rho
                 )
                 rendered, ok = _render_checks(checks)
                 print("Eq. 6 layer bounds:")

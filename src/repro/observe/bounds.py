@@ -52,7 +52,7 @@ import math
 from dataclasses import dataclass
 from typing import Any
 
-from repro.algos.minhaarspace import MRow, effective_delta
+from repro.algos.minhaarspace import MRow, approx_params
 from repro.core.partitioning import Layer, dp_layers, root_base_partition
 from repro.exceptions import InvalidInputError
 from repro.mapreduce.serde import record_size
@@ -73,18 +73,22 @@ __all__ = [
 _LAYER_RECORD_OVERHEAD = record_size(0, (0, 0.0))
 
 
-def max_row_entries(epsilon: float, delta: float, n: int) -> int:
+def max_row_entries(epsilon: float, delta: float, n: int, rho: float = 0.0) -> int:
     """Worst-case entry count of any M-row in an ``(epsilon, delta)`` run.
 
     A leaf row spans the grid points within ``epsilon`` of its value —
     at most ``floor(2*epsilon/delta') + 2`` of them (both endpoints can
     land on the grid) — and combining only shrinks relative width, so
-    this caps every row of the tree.  ``delta`` is clamped through
-    :func:`~repro.algos.minhaarspace.effective_delta` exactly as the DP
-    itself clamps it.
+    this caps every row of the tree.  The parameters are resolved through
+    :func:`~repro.algos.minhaarspace.approx_params` exactly as the DP
+    resolves them: at ``rho = 0`` that is the ``effective_delta`` clamp,
+    and in the approximate regime (``rho > 0``) the bound uses the
+    inflated ``epsilon_dp`` over the *coarsened* ``delta'`` — Eq. 6 with
+    no slack factor, which is what makes the regime's communication
+    savings a checkable prediction rather than a hope.
     """
-    clamped = effective_delta(epsilon, delta, n)
-    return int(math.floor(2.0 * epsilon / clamped)) + 2
+    epsilon_dp, clamped = approx_params(epsilon, delta, n, rho)
+    return int(math.floor(2.0 * epsilon_dp / clamped)) + 2
 
 
 @dataclass(frozen=True)
@@ -101,19 +105,19 @@ class LayerBound:
 
 
 def dmhaarspace_layer_bounds(
-    n: int, subtree_leaves: int, epsilon: float, delta: float
+    n: int, subtree_leaves: int, epsilon: float, delta: float, rho: float = 0.0
 ) -> list[LayerBound]:
     """Eq. 6 per-layer byte budgets for a :func:`dm_haar_space` run.
 
     Mirrors :class:`~repro.core.dp_framework.LayeredDPDriver`: the same
     layer decomposition (height ``min(log2 subtree_leaves, log2 N)``) and
-    the same effective ``delta``, so bound ``i`` lines up with the traced
-    job ``dp-layer-i``.
+    the same effective (or, at ``rho > 0``, coarsened) ``delta``, so
+    bound ``i`` lines up with the traced job ``dp-layer-i``.
     """
     if n < 2:
         raise InvalidInputError("Eq. 6 bounds need at least a 2-point tree")
     height = min(subtree_leaves.bit_length() - 1, n.bit_length() - 1)
-    entries = max_row_entries(epsilon, delta, n)
+    entries = max_row_entries(epsilon, delta, n, rho)
     per_record_bound = _LAYER_RECORD_OVERHEAD + MRow.sized(entries)
     per_record_floor = _LAYER_RECORD_OVERHEAD + MRow.sized(1)
     bounds = []
@@ -174,7 +178,12 @@ def _jobs_by_label(trace: dict[str, Any], stage_label: str) -> list[dict[str, An
 
 
 def check_dmhaarspace_trace(
-    trace: dict[str, Any], n: int, subtree_leaves: int, epsilon: float, delta: float
+    trace: dict[str, Any],
+    n: int,
+    subtree_leaves: int,
+    epsilon: float,
+    delta: float,
+    rho: float = 0.0,
 ) -> list[BoundCheck]:
     """Check every traced bottom-up DP layer against its Eq. 6 budget.
 
@@ -183,11 +192,13 @@ def check_dmhaarspace_trace(
     invocation; each pass's layer jobs are checked against the bound for
     their layer index (matched by job name).  Raises when the trace has
     no bottom-up jobs — a silent pass on an empty selection would make
-    the assertion meaningless.
+    the assertion meaningless.  Pass the ``rho`` the run was built with:
+    coarsened runs are budgeted with the coarsened Eq. 6 parameters, no
+    slack.
     """
     by_name = {
         bound.job_name: bound
-        for bound in dmhaarspace_layer_bounds(n, subtree_leaves, epsilon, delta)
+        for bound in dmhaarspace_layer_bounds(n, subtree_leaves, epsilon, delta, rho)
     }
     jobs = _jobs_by_label(trace, "dp.bottom_up")
     if not jobs:

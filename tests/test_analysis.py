@@ -221,7 +221,7 @@ class TestDeterminism:
 
 
 # ---------------------------------------------------------------------------
-# Kernel contracts (KC001 / KC002 / KC003) — scoped to algos/ and bench/
+# Kernel contracts (KC001 / KC002 / KC003 / KC004) — scoped to algos/ and bench/
 # ---------------------------------------------------------------------------
 
 
@@ -303,6 +303,72 @@ class TestKernelContracts:
                 return values
         """
         assert "KC003" not in findings_for(source)
+
+    def test_kc004_as_completed_collection(self):
+        # Completion-order collection would break the parallel level
+        # walk's bit-identity with the serial walk.
+        source = """
+            from concurrent.futures import as_completed
+
+            def run_level(executor, tasks):
+                futures = [executor.submit(t) for t in tasks]
+                return [f.result() for f in as_completed(futures)]
+        """
+        assert "KC004" in findings_for(source)
+
+    def test_kc004_imap_unordered(self):
+        source = """
+            def run_level(pool, tasks):
+                return list(pool.imap_unordered(run_one, tasks))
+
+            def run_one(task):
+                return task
+        """
+        assert "KC004" in findings_for(source)
+
+    def test_kc004_iterating_a_set(self):
+        source = """
+            def walk(nodes):
+                for node in set(nodes):
+                    yield node
+        """
+        assert "KC004" in findings_for(source)
+
+    def test_kc004_set_literal_iteration(self):
+        source = """
+            def walk():
+                for node in {3, 1, 2}:
+                    yield node
+        """
+        assert "KC004" in findings_for(source)
+
+    def test_kc004_executor_map_is_clean(self):
+        # Executor.map yields in submission order — the sanctioned way.
+        source = """
+            def run_level(executor, tasks):
+                return list(executor.map(run_one, tasks))
+
+            def run_one(task):
+                return task
+        """
+        assert "KC004" not in findings_for(source)
+
+    def test_kc004_sorted_set_iteration_is_clean(self):
+        source = """
+            def walk(nodes):
+                for node in sorted(set(nodes)):
+                    yield node
+        """
+        assert "KC004" not in findings_for(source)
+
+    def test_kc004_only_applies_to_kernel_scopes(self):
+        source = """
+            from concurrent.futures import as_completed
+
+            def drain(futures):
+                return [f.result() for f in as_completed(futures)]
+        """
+        assert "KC004" not in findings_for(source, path="src/repro/mapreduce/fixture.py")
 
 
 # ---------------------------------------------------------------------------

@@ -95,6 +95,58 @@ class TestEq6LayerBounds:
         assert ratio == pytest.approx(2.0 * width_ratio, rel=0.15)
 
 
+class TestEq6ApproximateRegime:
+    """The coarsened tier's Eq. 6 budgets — same derivation, rho grid."""
+
+    @pytest.mark.parametrize("rho", [0.05, 0.1, 0.25])
+    def test_coarsened_trace_within_coarsened_budget(self, rho: float) -> None:
+        # Fine nominal grid (delta << epsilon) so coarsening bites; the
+        # coarsened run must fit the rho-adjusted budget with no slack.
+        rng = np.random.default_rng(29)
+        data = np.cumsum(rng.normal(0.0, 1.0, 1 << 10)) + 50.0
+        epsilon, delta, h = 3.0, 0.01, 6
+        cluster = SimulatedCluster()
+        dm_haar_space(
+            data, epsilon, delta, cluster, subtree_leaves=1 << h, construct=False,
+            rho=rho,
+        )
+        trace = cluster.log.trace()
+        checks = check_dmhaarspace_trace(trace, len(data), 1 << h, epsilon, delta, rho)
+        assert checks, "expected bottom-up layer jobs in the coarsened trace"
+        floors = {
+            bound.job_name: bound.bytes_floor
+            for bound in dmhaarspace_layer_bounds(len(data), 1 << h, epsilon, delta, rho)
+        }
+        for check in checks:
+            assert check.measured_bytes <= check.bound_bytes, (
+                f"{check.job_name}: coarsened run shipped {check.measured_bytes} "
+                f"bytes, above the rho={rho} Eq. 6 budget {check.bound_bytes}"
+            )
+            assert check.measured_bytes >= floors[check.job_name]
+
+    def test_coarsened_budget_is_smaller_than_exact(self) -> None:
+        # In the fine-grid regime the whole point of coarsening is a
+        # smaller shipped row: the rho bound must undercut the exact one.
+        epsilon, delta, n = 3.0, 0.01, 1 << 10
+        exact_width = max_row_entries(epsilon, delta, n)
+        for rho in (0.05, 0.1, 0.25):
+            assert max_row_entries(epsilon, delta, n, rho) < exact_width
+
+    def test_rho_zero_budget_matches_the_exact_bound(self) -> None:
+        for epsilon, delta, n in [(16.0, 1.0, 1 << 10), (3.0, 0.01, 1 << 14)]:
+            assert max_row_entries(epsilon, delta, n, 0.0) == max_row_entries(
+                epsilon, delta, n
+            )
+
+    def test_coarse_budget_is_epsilon_independent(self) -> None:
+        # delta' = 2*rho*epsilon/levels grows with epsilon, so once the
+        # coarse step dominates, W depends only on rho and the depth —
+        # one budget covers every binary-search probe (up to one entry of
+        # float rounding in the epsilon/delta' ratio).
+        n, delta, rho = 1 << 10, 0.001, 0.1
+        widths = [max_row_entries(epsilon, delta, n, rho) for epsilon in (5.0, 50.0, 500.0)]
+        assert max(widths) - min(widths) <= 1
+
 class TestDGreedyHistogramBound:
     @pytest.mark.parametrize("base_leaves", [4, 16, 64])
     def test_synthetic_small(self, base_leaves: int) -> None:
