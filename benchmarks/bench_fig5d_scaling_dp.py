@@ -11,7 +11,22 @@ Claims reproduced:
 
 As in bench_fig5c, each workload is measured once and re-priced per slot
 count with :func:`repro.mapreduce.price_log`.
+
+Run as a script, this module additionally gates the *adaptive layer
+planner*: ``python benchmarks/bench_fig5d_scaling_dp.py`` runs one
+DMHaarSpace build per band schedule (``--layer-plan auto`` against a
+sweep of fixed uniform heights), and asserts the planner's schedule
+launches fewer MapReduce rounds AND prices to a lower simulated makespan
+than *every* fixed height, at bit-identical coefficients.  Results land
+in ``BENCH_fig5d_rounds.json``; ``--check`` compares the structural
+fields (plans and round counts — deterministic) against the committed
+file, which is how CI pins the planner's advantage.
 """
+
+import argparse
+import json
+import sys
+from pathlib import Path
 
 from conftest import run_once
 from repro.algos import indirect_haar
@@ -75,3 +90,133 @@ def bench_fig5d(benchmark, settings):
     # to (or overtaken) the centralized one.
     both = [r for r in rows if r["note"] != "OOM"]
     assert both[-1]["DIndirectHaar m=40 (s)"] < both[-1]["IndirectHaar (s)"] * 1.5
+
+
+# --------------------------------------------------------------------------
+# Standalone layer-planner gate (``python benchmarks/bench_fig5d_scaling_dp.py``)
+# --------------------------------------------------------------------------
+
+ROUNDS_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_fig5d_rounds.json"
+
+
+def regenerate_fig5d_rounds(log_n=20, fixed_heights=(8, 9, 10), epsilon=60.0, delta=1.0):
+    """One DMHaarSpace build per band schedule: auto vs fixed heights.
+
+    Returns the result document: per-plan round counts (MapReduce jobs
+    launched), simulated makespans, and the resolved plan strings, plus
+    the invariants the gate asserts.  Coefficients must be bit-identical
+    across plans — the planner only moves work, never changes it.
+    """
+    from repro.core.dp_framework import dm_haar_space
+    from repro.mapreduce import ClusterConfig, SimulatedCluster
+
+    n = 1 << log_n
+    data = uniform_dataset(n, (0, 1000), seed=7)
+    # Same overhead ratios as the pytest benchmarks (see conftest).
+    config = ClusterConfig(
+        map_slots=40,
+        reduce_slots=16,
+        task_startup_seconds=0.01,
+        job_startup_seconds=0.2,
+    )
+    specs = [f"h={h}" for h in fixed_heights] + ["auto"]
+    rows = []
+    reference = None
+    for spec in specs:
+        cluster = SimulatedCluster(config)
+        solution = dm_haar_space(
+            data, epsilon, delta, cluster, subtree_leaves=256, layer_plan=spec
+        )
+        coefficients = dict(solution.synopsis.coefficients)
+        if reference is None:
+            reference = coefficients
+        rows.append(
+            {
+                "spec": spec,
+                "plan": cluster.log.meta.get("layer_plan"),
+                "rounds": cluster.log.job_count,
+                "simulated_seconds": cluster.log.simulated_seconds,
+                "max_error": solution.max_error,
+                "identical": coefficients == reference,
+            }
+        )
+    fixed = [row for row in rows if row["spec"] != "auto"]
+    auto = next(row for row in rows if row["spec"] == "auto")
+    return {
+        "log_n": log_n,
+        "epsilon": epsilon,
+        "delta": delta,
+        "plans": rows,
+        "auto_fewest_rounds": all(auto["rounds"] < row["rounds"] for row in fixed),
+        "auto_lowest_makespan": all(
+            auto["simulated_seconds"] < row["simulated_seconds"] for row in fixed
+        ),
+        "bit_identical": all(row["identical"] for row in rows),
+    }
+
+
+def _gate(result):
+    """Assert the planner's advantage; return the failures (empty = pass)."""
+    failures = []
+    if not result["auto_fewest_rounds"]:
+        failures.append("auto plan does not launch the fewest rounds")
+    if not result["auto_lowest_makespan"]:
+        failures.append("auto plan does not have the lowest simulated makespan")
+    if not result["bit_identical"]:
+        failures.append("plans disagree on coefficients (must be bit-identical)")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Layer-planner rounds/makespan gate (auto vs fixed heights)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run at N=2^14 instead of 2^20 (CI-sized; same invariants)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="additionally compare plans and round counts against the "
+        "committed BENCH_fig5d_rounds.json (timings are machine-local "
+        "and are not compared)",
+    )
+    args = parser.parse_args(argv)
+    result = regenerate_fig5d_rounds(log_n=14 if args.quick else 20)
+    print_table(
+        f"Layer planner: rounds and makespan by band schedule (N=2^{result['log_n']})",
+        result["plans"],
+    )
+    failures = _gate(result)
+    if args.check:
+        committed = json.loads(ROUNDS_RESULT_FILE.read_text())
+        key = "quick" if args.quick else "full"
+        expected = committed.get(key)
+        if expected is None:
+            failures.append(f"no {key!r} entry in {ROUNDS_RESULT_FILE.name}")
+        else:
+            fresh = {row["spec"]: (row["plan"], row["rounds"]) for row in result["plans"]}
+            stored = {
+                row["spec"]: (row["plan"], row["rounds"]) for row in expected["plans"]
+            }
+            if fresh != stored:
+                failures.append(
+                    f"plans/rounds drifted from committed {key} baseline: "
+                    f"{fresh} != {stored}"
+                )
+    else:
+        committed = {}
+        if ROUNDS_RESULT_FILE.exists():
+            committed = json.loads(ROUNDS_RESULT_FILE.read_text())
+        committed["quick" if args.quick else "full"] = result
+        ROUNDS_RESULT_FILE.write_text(json.dumps(committed, indent=2) + "\n")
+        print(f"wrote {ROUNDS_RESULT_FILE}")
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

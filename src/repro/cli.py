@@ -26,7 +26,12 @@ import numpy as np
 from repro.algos.minhaarspace import DP_KERNELS
 from repro.core.thresholding import ALGORITHMS, build_synopsis
 from repro.exceptions import ReproError
-from repro.mapreduce.cluster import RUNTIMES, SimulatedCluster, make_runtime
+from repro.mapreduce.cluster import (
+    RUNTIMES,
+    ClusterConfig,
+    SimulatedCluster,
+    make_runtime,
+)
 from repro.mapreduce.hdfs import FileDataset
 from repro.mapreduce.shuffle import DEFAULT_BUFFER_BYTES, SHUFFLE_MODES, ShuffleConfig
 from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
@@ -72,7 +77,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
         spill_dir=args.spill_dir,
         buffer_bytes=args.spill_buffer_bytes,
     )
-    cluster = SimulatedCluster(runtime=make_runtime(args.runtime, shuffle=shuffle))
+    config = ClusterConfig(speculation=True) if args.speculation else ClusterConfig()
+    cluster = SimulatedCluster(
+        config=config, runtime=make_runtime(args.runtime, shuffle=shuffle)
+    )
     synopsis = build_synopsis(
         data,
         budget=args.budget,
@@ -83,6 +91,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         cluster=cluster,
         rho=args.dp_rho,
         dp_kernel=args.dp_kernel,
+        layer_plan=args.layer_plan,
     )
     if args.trace:
         Path(args.trace).write_text(json.dumps(cluster.log.trace(), indent=2))
@@ -176,6 +185,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="DP combine kernel: 'auto' dispatches per row size, "
         "'scalar'/'windowed' pin one kernel, 'parallel' adds a thread "
         "pool over each level's sibling sub-trees; all are bit-identical",
+    )
+    build.add_argument(
+        "--layer-plan",
+        help="DP band schedule (dindirect-haar* only): 'auto' asks the "
+        "adaptive planner for the predicted-makespan minimizer, 'h=K' "
+        "pins uniform height-K bands, 'H1,H2,...' (optionally "
+        "'@driver') gives explicit bottom-up heights; omitted = the "
+        "classic --subtree-leaves decomposition. Bit-identical output "
+        "either way at --dp-rho 0",
+    )
+    build.add_argument(
+        "--speculation",
+        action="store_true",
+        help="enable speculative backup attempts for straggling tasks in "
+        "the simulated scheduler (affects simulated makespan only; "
+        "results are unchanged)",
     )
     build.add_argument(
         "--sanity-bound", type=float, default=DEFAULT_SANITY_BOUND, help="rel-error S"

@@ -23,12 +23,20 @@ from repro.core.dp_framework import (
     MinHaarSpaceRestrictedDP,
     RowDP,
     dm_haar_space,
+    resolve_layer_plan,
+)
+from repro.core.layer_planner import (
+    WorkModel,
+    plan_layers_auto,
+    predict_plan_seconds,
 )
 from repro.core.partitioning import (
     Layer,
+    LayerPlan,
     SubtreeSpec,
     dp_layers,
     local_to_global,
+    parse_layer_plan,
     root_base_partition,
 )
 from repro.core.thresholding import ALGORITHMS, build_synopsis
@@ -36,11 +44,13 @@ from repro.core.thresholding import ALGORITHMS, build_synopsis
 __all__ = [
     "ALGORITHMS",
     "Layer",
+    "LayerPlan",
     "LayeredDPDriver",
     "MinHaarSpaceDP",
     "MinHaarSpaceRestrictedDP",
     "RowDP",
     "SubtreeSpec",
+    "WorkModel",
     "build_synopsis",
     "con_synopsis",
     "d_greedy_abs",
@@ -52,6 +62,10 @@ __all__ = [
     "h_wtopk_synopsis",
     "incoming_value",
     "local_to_global",
+    "parse_layer_plan",
+    "plan_layers_auto",
+    "predict_plan_seconds",
+    "resolve_layer_plan",
     "root_base_partition",
     "send_coef_synopsis",
     "send_v_synopsis",

@@ -25,7 +25,8 @@ from numpy.typing import ArrayLike, NDArray
 from repro.algos.indirect_haar import indirect_haar_search, search_resolution
 from repro.core.conventional_dist import con_synopsis
 from repro.algos.minhaarspace import DualSolution
-from repro.core.dp_framework import dm_haar_space
+from repro.core.dp_framework import dm_haar_space, resolve_layer_plan
+from repro.core.partitioning import LayerPlan
 from repro.exceptions import InvalidInputError
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.hdfs import InputSplit, aligned_splits
@@ -148,6 +149,7 @@ def d_indirect_haar(
     restricted: bool = False,
     rho: float = 0.0,
     kernel: str = "auto",
+    layer_plan: LayerPlan | str | None = None,
 ) -> WaveletSynopsis:
     """DIndirectHaar: Problem 1 at cluster scale (Algorithm 2 + Section 4).
 
@@ -161,6 +163,16 @@ def d_indirect_haar(
     — and with them the Eq. 6 communication per layer — while keeping
     ``size <= budget`` and the :func:`~repro.algos.indirect_haar.indirect_haar`
     error guarantee.  ``kernel`` picks the map-side combine kernel.
+
+    ``layer_plan`` selects the DP band schedule for every probe: a
+    :class:`~repro.core.partitioning.LayerPlan`, the plan grammar
+    (``"h=K"``, ``"H1,H2,..."``, optional ``"@driver"``), or ``"auto"``
+    to let :func:`~repro.core.layer_planner.plan_layers_auto` pick the
+    predicted-makespan minimizer.  The plan is resolved *once*, at the
+    representative probe epsilon ``error_high``, and reused across the
+    whole binary search — probes at different epsilons must execute the
+    same jobs for their traces (and the search's round count) to be
+    comparable.
     """
     values = np.asarray(data, dtype=np.float64)
     if values.ndim != 1 or not is_power_of_two(values.shape[0]):
@@ -200,6 +212,15 @@ def d_indirect_haar(
         )
         return conventional
 
+    # Resolve the band schedule once, at the representative epsilon
+    # error_high (the widest rows any probe will ship), so every probe
+    # and the constructing run execute the identical job sequence.
+    plan = (
+        resolve_layer_plan(layer_plan, n, error_high, delta, cluster, rho=rho)
+        if n > 1
+        else None
+    )
+
     # Probes skip the top-down pass; only the winning bound is constructed.
     # Each probe's solution carries its epsilon (DualSolution.epsilon), so
     # re-running the winner needs no external solution-to-epsilon map.
@@ -214,6 +235,7 @@ def d_indirect_haar(
             restricted=restricted,
             rho=rho,
             kernel=kernel,
+            layer_plan=plan,
         )
 
     best, runs = indirect_haar_search(
@@ -234,6 +256,7 @@ def d_indirect_haar(
         restricted=restricted,
         rho=rho,
         kernel=kernel,
+        layer_plan=plan,
     )
     synopsis = final.synopsis
     synopsis.meta.update(

@@ -3,8 +3,12 @@
 Any thresholding DP whose per-node state is an *M-row* combining two child
 rows can be distributed with this driver:
 
-1. the error tree is cut into layers of fixed-height sub-trees
-   (:func:`repro.core.partitioning.dp_layers`);
+1. the error tree is cut into bands of sub-trees by a
+   :class:`~repro.core.partitioning.LayerPlan` — the classic fixed
+   height ``h``, an explicit per-layer schedule, or the adaptive
+   planner's pick (:func:`repro.core.layer_planner.plan_layers_auto`);
+   the top band may be *driver-resident*, running inside the driver's
+   finalize step instead of paying a MapReduce round per pass;
 2. one MapReduce job per layer, bottom-up: each map task runs the DP over
    its sub-tree (leaf rows come from raw data at the bottom layer, from
    the previous layer's emitted root rows above) and emits
@@ -47,11 +51,17 @@ from repro.exceptions import InfeasibleErrorBound, InvalidInputError
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.hdfs import InputSplit, aligned_splits
 from repro.mapreduce.job import MapReduceJob
-from repro.core.partitioning import Layer, dp_layers, local_to_global
+from repro.core.partitioning import Layer, LayerPlan, local_to_global, parse_layer_plan
 from repro.wavelet.synopsis import WaveletSynopsis
 from repro.wavelet.transform import is_power_of_two
 
-__all__ = ["RowDP", "MinHaarSpaceDP", "LayeredDPDriver", "dm_haar_space"]
+__all__ = [
+    "RowDP",
+    "MinHaarSpaceDP",
+    "LayeredDPDriver",
+    "dm_haar_space",
+    "resolve_layer_plan",
+]
 
 
 class RowDP:
@@ -253,25 +263,49 @@ class _TopDownLayerJob(MapReduceJob):
 
 
 class LayeredDPDriver:
-    """Runs a :class:`RowDP` over the whole error tree via layered jobs."""
+    """Runs a :class:`RowDP` over the whole error tree via layered jobs.
+
+    The decomposition comes from a :class:`~repro.core.partitioning.LayerPlan`
+    — pass ``plan`` explicitly (the adaptive planner's output, or any
+    hand-written schedule); without one, the classic fixed-height
+    decomposition derived from ``subtree_leaves`` is used.  A plan whose
+    top band is *driver-resident* runs that band's single ``c_1``
+    sub-tree inside the driver (both passes), saving one MapReduce round
+    each way; the computation is the same ``subtree_rows``/``traceback``
+    call a map task would have made, so synopses are bit-identical
+    whatever the plan.
+    """
 
     def __init__(
-        self, dp: RowDP, cluster: SimulatedCluster, subtree_leaves: int = 1024
+        self,
+        dp: RowDP,
+        cluster: SimulatedCluster,
+        subtree_leaves: int = 1024,
+        plan: LayerPlan | None = None,
     ) -> None:
         if not is_power_of_two(subtree_leaves) or subtree_leaves < 2:
             raise InvalidInputError("subtree_leaves must be a power of two >= 2")
         self.dp = dp
         self.cluster = cluster
         self.subtree_leaves = subtree_leaves
+        self.plan = plan
 
-    def _layers(self, n: int) -> list[Layer]:
+    def _plan(self, n: int) -> LayerPlan:
+        if self.plan is not None:
+            if self.plan.n != n:
+                raise InvalidInputError(
+                    f"layer plan is for N={self.plan.n}, but the data has N={n}"
+                )
+            return self.plan
         height = min(self.subtree_leaves.bit_length() - 1, n.bit_length() - 1)
-        return dp_layers(n, height)
+        return LayerPlan.uniform(n, height)
 
     def bottom_up(self, data: np.ndarray) -> _BottomUpResult:
         """Algorithm 1: compute every sub-tree's rows, return the top row."""
         n = int(data.shape[0])
-        layers = self._layers(n)
+        plan = self._plan(n)
+        self.cluster.log.meta["layer_plan"] = plan.describe()
+        layers = plan.layers()
         row_store: dict[tuple[int, int], list] = {}
 
         splits: list[InputSplit] = []
@@ -280,8 +314,11 @@ class LayeredDPDriver:
             split.meta["spec"] = spec
             splits.append(split)
 
-        top_output = None
+        result = None
         for layer in layers:
+            if not plan.is_distributed(layer.index):
+                assert result is not None  # driver_top implies a band below
+                return self._driver_bottom_up(layer, result.output, row_store)
             if layer.is_top:
                 parent_leaf_count = 1
             else:
@@ -289,10 +326,15 @@ class LayeredDPDriver:
             job = _BottomUpLayerJob(self.dp, layer, row_store, parent_leaf_count)
             result = self.cluster.run_job(job, splits)
             if layer.is_top:
-                top_output = result.output
-                break
-            # Regroup emitted rows under the next layer's sub-trees.
+                (_, (_, top_row, overall_average)) = result.output[0]
+                return _BottomUpResult(
+                    top_row=top_row, row_store=row_store, overall_average=overall_average
+                )
             next_layer = layers[layer.index + 1]
+            if not plan.is_distributed(next_layer.index):
+                # The driver-resident band consumes the raw job output.
+                continue
+            # Regroup emitted rows under the next layer's sub-trees.
             grouped: dict[int, dict[int, tuple]] = {spec.root: {} for spec in next_layer.subtrees}
             for parent, (child_root, row, average) in result.output:
                 grouped[parent][child_root] = (row, average)
@@ -312,18 +354,53 @@ class LayeredDPDriver:
                         },
                     )
                 )
+        raise AssertionError("a layer plan always terminates in a top band")
 
-        (_, (_, top_row, overall_average)) = top_output[0]
+    def _driver_bottom_up(
+        self,
+        layer: Layer,
+        child_output: list[tuple[Any, Any]],
+        row_store: dict[tuple[int, int], list],
+    ) -> _BottomUpResult:
+        """Run the driver-resident top band: same DP call, no MapReduce round."""
+        spec = layer.subtrees[0]
+        children: dict[int, tuple[MRow, float]] = {}
+        for _parent, (child_root, row, average) in child_output:
+            children[child_root] = (row, average)
+        ordered = [children[root] for root in spec.child_roots()]
+        child_rows = [row for row, _ in ordered]
+        child_values = np.asarray([average for _, average in ordered], dtype=np.float64)
+        with self.cluster.driver():
+            rows = self.dp.subtree_rows(child_rows, child_values)
+        row_store[(layer.index, spec.root)] = rows
+        top_row = rows[1] if len(rows) > 1 else rows[0]
+        assert top_row is not None
         return _BottomUpResult(
-            top_row=top_row, row_store=row_store, overall_average=overall_average
+            top_row=top_row,
+            row_store=row_store,
+            overall_average=float(np.mean(child_values)),
         )
 
     def top_down(self, data_length: int, row_store: dict, root_incoming: int) -> dict[int, float]:
         """Select the synopsis coefficients layer by layer, top to bottom."""
-        layers = self._layers(data_length)
+        plan = self._plan(data_length)
+        layers = plan.layers()
         assignments: dict[int, float] = {}
         incomings: dict[int, int] = {1: root_incoming}
         for layer in reversed(layers):
+            if not plan.is_distributed(layer.index):
+                # Driver-resident top band: traceback in the driver.
+                spec = layer.subtrees[0]
+                with self.cluster.driver():
+                    local_assignments, leaf_incomings = self.dp.traceback(
+                        row_store[(layer.index, spec.root)], incomings[spec.root]
+                    )
+                for local_node, value in local_assignments.items():
+                    assignments[local_to_global(spec.root, local_node)] = float(value)
+                incomings = {}
+                for child_root, child_incoming in zip(spec.child_roots(), leaf_incomings):
+                    incomings[int(child_root)] = int(child_incoming)
+                continue
             splits = []
             for i, spec in enumerate(layer.subtrees):
                 splits.append(
@@ -347,6 +424,30 @@ class LayeredDPDriver:
         return assignments
 
 
+def resolve_layer_plan(
+    layer_plan: LayerPlan | str | None,
+    n: int,
+    epsilon: float,
+    delta: float,
+    cluster: SimulatedCluster,
+    rho: float = 0.0,
+) -> LayerPlan | None:
+    """Resolve a ``--layer-plan``-style argument into a concrete plan.
+
+    ``None`` stays ``None`` (the driver falls back to the classic
+    ``subtree_leaves`` decomposition); ``"auto"`` invokes the adaptive
+    planner against the cluster's cost model; any other string goes
+    through :func:`~repro.core.partitioning.parse_layer_plan`.
+    """
+    if layer_plan is None or isinstance(layer_plan, LayerPlan):
+        return layer_plan
+    if layer_plan.strip().lower() == "auto":
+        from repro.core.layer_planner import plan_layers_auto
+
+        return plan_layers_auto(n, epsilon, delta, cluster.config, rho=rho)
+    return parse_layer_plan(layer_plan, n)
+
+
 def dm_haar_space(
     data: ArrayLike,
     epsilon: float,
@@ -357,6 +458,7 @@ def dm_haar_space(
     restricted: bool = False,
     rho: float = 0.0,
     kernel: str | KernelSpec = "auto",
+    layer_plan: LayerPlan | str | None = None,
 ) -> DualSolution:
     """DMHaarSpace: the distributed MinHaarSpace (Section 4).
 
@@ -374,6 +476,14 @@ def dm_haar_space(
     the same coarsened parameters.  ``kernel`` picks a
     :data:`~repro.algos.minhaarspace.DP_KERNELS` entry for the map-side
     sub-tree DPs.
+
+    ``layer_plan`` overrides the fixed-``subtree_leaves`` banding: a
+    :class:`~repro.core.partitioning.LayerPlan`, a spec string
+    (``"h=K"`` / ``"H1,H2,..."``, optionally ``@driver``), or ``"auto"``
+    to let :func:`~repro.core.layer_planner.plan_layers_auto` pick the
+    minimum-predicted-makespan schedule for this cluster.  Any plan
+    yields a bit-identical synopsis at ``rho = 0`` — it only changes how
+    the same exact DP is scheduled.
     """
     values = np.asarray(data, dtype=np.float64)
     if values.ndim != 1 or not is_power_of_two(values.shape[0]):
@@ -382,6 +492,7 @@ def dm_haar_space(
     cluster = cluster or SimulatedCluster()
     from repro.algos.minhaarspace import approx_params
 
+    nominal_delta = delta
     epsilon_dp, delta = approx_params(epsilon, delta, n, rho)
     dp: RowDP = (
         MinHaarSpaceRestrictedDP(epsilon_dp, delta, kernel=kernel)
@@ -396,7 +507,8 @@ def dm_haar_space(
             solver = min_haar_space_restricted if restricted else min_haar_space
             return solver(values, epsilon, delta, rho=rho, kernel=kernel)
 
-    driver = LayeredDPDriver(dp, cluster, subtree_leaves)
+    plan = resolve_layer_plan(layer_plan, n, epsilon, nominal_delta, cluster, rho=rho)
+    driver = LayeredDPDriver(dp, cluster, subtree_leaves, plan=plan)
     result = driver.bottom_up(values)
     with cluster.driver():
         size, error, chosen = dp.finalize(result.top_row, result.overall_average)
@@ -417,6 +529,7 @@ def dm_haar_space(
             "rho": rho,
             "max_abs_error": error,
             "constructed": construct,
+            "layer_plan": driver._plan(n).describe(),
         },
     )
     return DualSolution(size=size, max_error=error, synopsis=synopsis, epsilon=epsilon)

@@ -2,10 +2,14 @@
 
 Two disciplines:
 
-* :func:`dp_layers` — the hierarchical decomposition used by the DP
-  framework: the detail-node tree (rooted at ``c_1``) is cut into layers
-  of sub-trees of fixed height ``h``; each layer is one distributed stage
-  and the sub-tree counts follow Eq. 4.
+* :func:`dp_layers` / :class:`LayerPlan` — the hierarchical decomposition
+  used by the DP framework: the detail-node tree (rooted at ``c_1``) is
+  cut into layers of sub-trees; each layer is one distributed stage and
+  the sub-tree counts follow Eq. 4.  The classic decomposition uses a
+  fixed height ``h`` per layer; a :class:`LayerPlan` generalizes it to a
+  per-layer height schedule ``[h_1, h_2, ...]`` (bottom-up) and may mark
+  the top band as *driver-resident* — small enough to run in the driver's
+  finalize step instead of paying a whole MapReduce round.
 * :func:`root_base_partition` — the two-level split used by DGreedyAbs:
   one *root sub-tree* (nodes ``c_0 .. c_{R-1}``) kept at the driver, plus
   ``R`` *base sub-trees* rooted at nodes ``R .. 2R-1``, each owning
@@ -27,7 +31,11 @@ from repro.wavelet.transform import is_power_of_two
 __all__ = [
     "SubtreeSpec",
     "Layer",
+    "LayerPlan",
     "dp_layers",
+    "layers_from_heights",
+    "uniform_heights",
+    "parse_layer_plan",
     "root_base_partition",
     "local_to_global",
     "global_subtree_coefficients",
@@ -61,12 +69,12 @@ class Layer:
     is_top: bool
 
 
-def dp_layers(n: int, height: int) -> list[Layer]:
-    """Partition an ``N``-point error tree into layers of height ``height``.
+def uniform_heights(n: int, height: int) -> tuple[int, ...]:
+    """The classic fixed-``h`` height schedule for an ``N``-point tree.
 
-    Returns layers bottom-up (index 0 processes raw data).  The top layer
-    always contains the single sub-tree rooted at ``c_1`` (``c_0`` is
-    handled by the driver's finalize step).  Layer sizes follow Eq. 4.
+    Bottom-up bands of ``height`` levels each; the top band absorbs the
+    remainder so it contains node ``c_1`` (exactly the banding
+    :func:`dp_layers` has always produced).
     """
     if not is_power_of_two(n):
         raise InvalidInputError(f"N={n} is not a power of two")
@@ -75,18 +83,41 @@ def dp_layers(n: int, height: int) -> list[Layer]:
     log_n = n.bit_length() - 1
     if log_n == 0:
         raise InvalidInputError("a 1-point dataset has no detail tree to partition")
-
-    # Depth bands bottom-up: the bottom band always has height ``height``
-    # (or everything, if the tree is shallow); the top band absorbs the
-    # remainder so it contains node c_1.
-    boundaries = list(range(log_n, 0, -height))  # e.g. log_n, log_n-h, ...
+    boundaries = list(range(log_n, 0, -height))
     if boundaries[-1] != 0:
         boundaries.append(0)
+    return tuple(lower - upper for lower, upper in zip(boundaries, boundaries[1:]))
+
+
+def layers_from_heights(n: int, heights: Sequence[int]) -> list[Layer]:
+    """Partition an ``N``-point error tree into bands of the given heights.
+
+    ``heights`` is bottom-up (``heights[0]`` processes raw data) and must
+    sum to ``log2 N`` so the bands exactly tile the detail tree.  Returns
+    layers bottom-up; the top layer always contains the single sub-tree
+    rooted at ``c_1`` (``c_0`` is handled by the driver's finalize step).
+    Sub-tree counts follow Eq. 4: a band whose roots sit at level ``u``
+    has ``2^u`` sub-trees.
+    """
+    if not is_power_of_two(n):
+        raise InvalidInputError(f"N={n} is not a power of two")
+    log_n = n.bit_length() - 1
+    if log_n == 0:
+        raise InvalidInputError("a 1-point dataset has no detail tree to partition")
+    if not heights:
+        raise InvalidInputError("a layer plan needs at least one band")
+    if any(h < 1 for h in heights):
+        raise InvalidInputError(f"band heights must be positive, got {list(heights)}")
+    if sum(heights) != log_n:
+        raise InvalidInputError(
+            f"band heights {list(heights)} sum to {sum(heights)}, "
+            f"but an N={n} tree has {log_n} levels to tile"
+        )
     layers: list[Layer] = []
-    total = len(boundaries) - 1
-    for i in range(total):
-        lower, upper = boundaries[i], boundaries[i + 1]
-        band_height = lower - upper
+    total = len(heights)
+    lower = log_n
+    for i, band_height in enumerate(heights):
+        upper = lower - band_height
         roots_level = upper
         subtrees = tuple(
             SubtreeSpec(root=(1 << roots_level) + j, leaf_count=1 << band_height)
@@ -100,7 +131,106 @@ def dp_layers(n: int, height: int) -> list[Layer]:
                 is_top=(i == total - 1),
             )
         )
+        lower = upper
     return layers
+
+
+def dp_layers(n: int, height: int) -> list[Layer]:
+    """Partition an ``N``-point error tree into layers of height ``height``.
+
+    Returns layers bottom-up (index 0 processes raw data).  The top layer
+    always contains the single sub-tree rooted at ``c_1`` (``c_0`` is
+    handled by the driver's finalize step).  Layer sizes follow Eq. 4.
+    """
+    return layers_from_heights(n, uniform_heights(n, height))
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """A per-layer height schedule for the layered DP over an ``N``-tree.
+
+    ``heights`` lists every band bottom-up and must tile ``log2 N``
+    levels.  ``driver_top`` marks the last band as *driver-resident*: its
+    single ``c_1`` sub-tree is small enough that the driver runs the DP
+    (and later the traceback) itself during finalize, saving one whole
+    MapReduce round per pass — the tree-contraction endgame of Bateni et
+    al.'s MPC schedules, where the last ``O(1)``-size level collapses
+    onto the coordinator.
+    """
+
+    n: int
+    heights: tuple[int, ...]
+    driver_top: bool = False
+
+    def __post_init__(self) -> None:
+        # Validates n/heights tiling as a side effect.
+        layers_from_heights(self.n, self.heights)
+        if self.driver_top and len(self.heights) < 2:
+            raise InvalidInputError(
+                "a driver-resident top band needs at least one distributed "
+                "band below it"
+            )
+
+    def layers(self) -> list[Layer]:
+        """All bands bottom-up, the driver-resident top one included."""
+        return layers_from_heights(self.n, self.heights)
+
+    @property
+    def distributed_rounds(self) -> int:
+        """MapReduce jobs one bottom-up (or top-down) pass launches."""
+        return len(self.heights) - (1 if self.driver_top else 0)
+
+    def is_distributed(self, layer_index: int) -> bool:
+        """Whether band ``layer_index`` runs as a MapReduce job."""
+        return layer_index < self.distributed_rounds
+
+    def describe(self) -> str:
+        """The plan in the CLI grammar (``parse_layer_plan`` round-trips it)."""
+        spec = ",".join(str(h) for h in self.heights)
+        return spec + ("@driver" if self.driver_top else "")
+
+    @classmethod
+    def uniform(cls, n: int, height: int) -> "LayerPlan":
+        """The classic fixed-``h`` decomposition as a plan."""
+        return cls(n=n, heights=uniform_heights(n, height))
+
+
+def parse_layer_plan(spec: str, n: int) -> LayerPlan:
+    """Parse a layer-plan spec string for an ``N``-point tree.
+
+    Grammar (the CLI's ``--layer-plan``):
+
+    * ``h=K`` — the classic fixed-height decomposition (top band absorbs
+      the remainder);
+    * ``H1,H2,...`` — explicit bottom-up band heights (must tile
+      ``log2 N``); an ``@driver`` suffix marks the top band
+      driver-resident, e.g. ``11,9@driver``.
+
+    ``auto`` is *not* handled here: resolving it needs the cluster cost
+    model (see :func:`repro.core.layer_planner.plan_layers_auto`).
+    """
+    text = spec.strip()
+    if not text or text.lower() == "auto":
+        raise InvalidInputError(
+            "parse_layer_plan handles explicit specs ('h=K' or 'H1,H2,...'); "
+            "'auto' must be resolved by the layer planner"
+        )
+    driver_top = False
+    if text.endswith("@driver"):
+        driver_top = True
+        text = text[: -len("@driver")]
+    try:
+        if text.startswith("h="):
+            if driver_top:
+                raise InvalidInputError(
+                    "'h=K' is the classic fully-distributed decomposition; "
+                    "use explicit heights to mark a driver-resident top band"
+                )
+            return LayerPlan.uniform(n, int(text[2:]))
+        heights = tuple(int(token) for token in text.split(","))
+    except ValueError as exc:
+        raise InvalidInputError(f"malformed layer plan spec {spec!r}: {exc}") from exc
+    return LayerPlan(n=n, heights=heights, driver_top=driver_top)
 
 
 def root_base_partition(n: int, base_leaf_count: int) -> tuple[int, list[SubtreeSpec]]:

@@ -62,6 +62,7 @@ def build_synopsis(
     pad: bool = True,
     rho: float = 0.0,
     dp_kernel: str = "auto",
+    layer_plan: str | None = None,
 ) -> WaveletSynopsis:
     """Build a ``budget``-coefficient wavelet synopsis of ``data``.
 
@@ -98,10 +99,25 @@ def build_synopsis(
         Combine-kernel registry entry for the DP-based algorithms
         (:data:`repro.algos.minhaarspace.DP_KERNELS`); all entries are
         bit-identical, the knob only trades time.
+    layer_plan:
+        Band schedule for the distributed DP algorithms
+        (``dindirect-haar`` variants): ``"auto"`` for the adaptive
+        planner, ``"h=K"`` / ``"H1,H2,..."`` (optionally ``"@driver"``)
+        for an explicit schedule, or ``None`` for the classic uniform
+        ``subtree_leaves`` decomposition.  Plans only change *where* DP
+        work runs, never the synopsis — every plan is bit-identical at
+        ``rho = 0``.  Rejected for algorithms without a distributed DP.
     """
     if algorithm not in ALGORITHMS:
         raise InvalidInputError(
             f"unknown algorithm {algorithm!r}; choose one of {sorted(ALGORITHMS)}"
+        )
+    if layer_plan is not None and algorithm not in (
+        "dindirect-haar",
+        "dindirect-haar-restricted",
+    ):
+        raise InvalidInputError(
+            f"layer_plan applies only to the distributed DP algorithms, not {algorithm!r}"
         )
     if isinstance(data, FileDataset):
         if algorithm not in ("dgreedy-abs", "dgreedy-rel"):
@@ -141,7 +157,14 @@ def build_synopsis(
         )
     if algorithm == "dindirect-haar":
         return d_indirect_haar(
-            values, budget, delta, cluster, subtree_leaves, rho=rho, kernel=dp_kernel
+            values,
+            budget,
+            delta,
+            cluster,
+            subtree_leaves,
+            rho=rho,
+            kernel=dp_kernel,
+            layer_plan=layer_plan,
         )
     if algorithm == "dindirect-haar-restricted":
         return d_indirect_haar(
@@ -153,6 +176,7 @@ def build_synopsis(
             restricted=True,
             rho=rho,
             kernel=dp_kernel,
+            layer_plan=layer_plan,
         )
     if algorithm == "con":
         return con_synopsis(values, budget, cluster, split_size=subtree_leaves)

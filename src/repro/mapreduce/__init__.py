@@ -9,12 +9,15 @@ paper's experimental shapes.
 
 from repro.mapreduce.cluster import (
     RUNTIMES,
+    BackupAttempt,
     ClusterConfig,
     MemoryModel,
     SimulatedCluster,
+    SpeculativeSchedule,
     make_runtime,
     makespan,
     price_log,
+    speculative_makespan,
 )
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import (
@@ -53,6 +56,7 @@ from repro.mapreduce.tracing import (
 )
 
 __all__ = [
+    "BackupAttempt",
     "ClusterConfig",
     "Counters",
     "DEFAULT_BUFFER_BYTES",
@@ -73,6 +77,7 @@ __all__ = [
     "SHUFFLE_MODES",
     "ShuffleConfig",
     "SimulatedCluster",
+    "SpeculativeSchedule",
     "StageSpan",
     "TaskSpan",
     "TRACE_SCHEMA_VERSION",
@@ -91,6 +96,7 @@ __all__ = [
     "make_shuffle",
     "makespan",
     "price_log",
+    "speculative_makespan",
     "record_size",
     "stable_partition",
 ]

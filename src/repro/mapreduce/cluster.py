@@ -21,6 +21,13 @@ exactly Hadoop's default behaviour for a single job).  This reproduces the
 paper's structural results: flat runtimes while the cluster has spare slots,
 linear growth once tasks serialize (Fig. 5c/5d), overhead-dominated small
 partitions (Fig. 5a), and halved capacity ⇒ doubled runtime.
+
+``ClusterConfig(speculation=True)`` swaps in :func:`speculative_makespan`:
+Hadoop's straggler policy, where a task running well past the completed
+quantile gets a backup attempt on an otherwise-idle slot and the first
+finisher wins.  Backups exist only in this pricing layer — results are
+bit-identical — and surface in the trace as ``speculative`` attempt
+spans plus ``speculation.*`` job counters.
 """
 
 from __future__ import annotations
@@ -39,15 +46,18 @@ from repro.mapreduce.parallel import ThreadPoolRuntime
 from repro.mapreduce.process import ProcessPoolRuntime
 from repro.mapreduce.runtime import JobResult, LocalRuntime
 from repro.mapreduce.shuffle import ShuffleConfig
-from repro.mapreduce.tracing import TRACE_SCHEMA_VERSION
+from repro.mapreduce.tracing import TRACE_SCHEMA_VERSION, AttemptSpan, StageSpan
 
 __all__ = [
     "ClusterConfig",
     "RUNTIMES",
     "SimulatedCluster",
     "MemoryModel",
+    "BackupAttempt",
+    "SpeculativeSchedule",
     "make_runtime",
     "makespan",
+    "speculative_makespan",
     "price_log",
 ]
 
@@ -92,6 +102,180 @@ def makespan(task_seconds: list[float], slots: int) -> float:
 
 
 @dataclass
+class BackupAttempt:
+    """One speculative backup launched by :func:`speculative_makespan`.
+
+    ``occupied_seconds`` is how long the backup held its slot: its full
+    duration when it won, or the time until its primary finished (the
+    cancel point) when it lost.  ``primary_occupied_seconds`` mirrors the
+    primary's slot occupancy up to *its* cancel point when the backup won.
+    """
+
+    task_index: int
+    start_seconds: float
+    occupied_seconds: float = 0.0
+    won: bool = False
+    primary_occupied_seconds: float = 0.0
+
+
+@dataclass
+class SpeculativeSchedule:
+    """Result of one speculative stage placement."""
+
+    seconds: float
+    backups: list[BackupAttempt] = field(default_factory=list)
+
+
+def speculative_makespan(
+    tasks: list[tuple[float, float]],
+    slots: int,
+    quantile: float = 0.75,
+    slowdown: float = 1.5,
+    min_completed: int = 3,
+) -> SpeculativeSchedule:
+    """Event-driven FIFO placement with Hadoop-style straggler backups.
+
+    ``tasks`` holds ``(total_seconds, backup_seconds)`` per task:
+    ``total_seconds`` is the primary attempt chain's slot occupancy
+    (failed attempts included) and ``backup_seconds`` what a fresh
+    re-execution costs (the last clean attempt).  A backup launches only
+    when the pending queue is empty and a slot is idle — speculation
+    never delays primary work, exactly Hadoop's policy — and only for a
+    task that has run longer than ``slowdown`` times the ``quantile`` of
+    completed-attempt durations, with at least ``min_completed`` tasks
+    finished.  First finisher wins; the loser is canceled at that moment
+    and charged for the slot it held.  Without eligible stragglers the
+    schedule is identical to :func:`makespan` over the totals.
+    """
+    if not tasks:
+        return SpeculativeSchedule(0.0)
+    if slots <= 0:
+        raise ValueError("slot count must be positive")
+    count = len(tasks)
+    free = slots
+    next_pending = 0
+    # attempt id -> [task_index, is_backup, start, alive]
+    attempts: list[list[Any]] = []
+    events: list[tuple[float, int, int]] = []
+    primary_of: list[int | None] = [None] * count
+    backup_of: list[int | None] = [None] * count
+    running: list[bool] = [False] * count
+    completed: list[float] = []
+    records: dict[int, BackupAttempt] = {}
+    seq = 0
+
+    def launch(task_index: int, is_backup: bool, now: float) -> None:
+        nonlocal free, seq
+        duration = tasks[task_index][1] if is_backup else tasks[task_index][0]
+        attempt_id = len(attempts)
+        attempts.append([task_index, is_backup, now, True])
+        heapq.heappush(events, (now + duration, seq, attempt_id))
+        seq += 1
+        free -= 1
+        if is_backup:
+            backup_of[task_index] = attempt_id
+            records[task_index] = BackupAttempt(task_index, now)
+        else:
+            primary_of[task_index] = attempt_id
+            running[task_index] = True
+
+    timer_pending = False
+
+    def threshold() -> float | None:
+        if len(completed) < max(1, min_completed):
+            return None
+        ordered = sorted(completed)
+        rank = min(len(ordered) - 1, int(quantile * len(ordered)))
+        return slowdown * ordered[rank]
+
+    def candidates(cut: float) -> list[tuple[float, int]]:
+        """Running primaries without a backup: ``(eligible_at, task)``."""
+        out: list[tuple[float, int]] = []
+        for task_index in range(count):
+            if not running[task_index] or backup_of[task_index] is not None:
+                continue
+            primary_id = primary_of[task_index]
+            if primary_id is None:
+                continue
+            out.append((attempts[primary_id][2] + cut, task_index))
+        return out
+
+    def speculate(now: float) -> None:
+        if next_pending < count:
+            return
+        cut = threshold()
+        if cut is None:
+            return
+        while free > 0:
+            eligible = [
+                (at, task_index)
+                for at, task_index in candidates(cut)
+                if now >= at
+            ]
+            if not eligible:
+                return
+            # Most-overdue first (earliest eligibility time == longest
+            # running); ties break on the lower task index.
+            eligible.sort()
+            launch(eligible[0][1], True, now)
+
+    def schedule_timer(now: float) -> None:
+        # Re-examine stragglers when the first candidate crosses the
+        # eligibility cut — completions alone would miss a straggler that
+        # outlives every other task in its stage.
+        nonlocal timer_pending, seq
+        if timer_pending or free <= 0 or next_pending < count:
+            return
+        cut = threshold()
+        if cut is None:
+            return
+        future = [at for at, _ in candidates(cut) if at > now]
+        if future:
+            heapq.heappush(events, (min(future), seq, -1))
+            seq += 1
+            timer_pending = True
+
+    while free > 0 and next_pending < count:
+        launch(next_pending, False, 0.0)
+        next_pending += 1
+
+    finish = 0.0
+    while events:
+        now, _, attempt_id = heapq.heappop(events)
+        if attempt_id < 0:
+            timer_pending = False
+            speculate(now)
+            schedule_timer(now)
+            continue
+        task_index, is_backup, start, alive = attempts[attempt_id]
+        if not alive:
+            continue
+        attempts[attempt_id][3] = False
+        free += 1
+        finish = max(finish, now)
+        running[task_index] = False
+        completed.append(now - start)
+        sibling_id = primary_of[task_index] if is_backup else backup_of[task_index]
+        if sibling_id is not None and attempts[sibling_id][3]:
+            attempts[sibling_id][3] = False
+            free += 1
+            record = records[task_index]
+            if is_backup:
+                record.won = True
+                record.occupied_seconds = now - start
+                record.primary_occupied_seconds = now - attempts[sibling_id][2]
+            else:
+                record.occupied_seconds = now - attempts[sibling_id][2]
+        while free > 0 and next_pending < count:
+            launch(next_pending, False, now)
+            next_pending += 1
+        speculate(now)
+        schedule_timer(now)
+    backups = [records[task_index] for task_index in sorted(records)]
+    return SpeculativeSchedule(finish, backups)
+
+
+@dataclass
 class ClusterConfig:
     """Knobs of the simulated platform (defaults mirror the paper's cluster).
 
@@ -106,6 +290,17 @@ class ClusterConfig:
     task_startup_seconds: float = 0.004
     job_startup_seconds: float = 0.02
     shuffle_bytes_per_second: float = 64e6
+    #: Hadoop-style speculative execution: when a stage has no pending
+    #: tasks left and idle slots, launch backup attempts against tasks
+    #: running longer than ``speculation_slowdown`` times the
+    #: ``speculation_quantile`` of completed-attempt durations (once
+    #: ``speculation_min_completed`` have finished).  Backups consume a
+    #: slot for as long as they run and appear as speculative attempt
+    #: spans in the trace; the first finisher wins.
+    speculation: bool = False
+    speculation_quantile: float = 0.75
+    speculation_slowdown: float = 1.5
+    speculation_min_completed: int = 3
 
     def scaled(self, **overrides: Any) -> "ClusterConfig":
         """Return a copy with some fields replaced."""
@@ -118,6 +313,9 @@ class RunLog:
 
     jobs: list[JobResult] = field(default_factory=list)
     driver_seconds: float = 0.0
+    #: Run-level annotations (e.g. the DP's resolved ``layer_plan``) —
+    #: carried into the trace document so checkers are self-describing.
+    meta: dict[str, Any] = field(default_factory=dict)
 
     @property
     def simulated_seconds(self) -> float:
@@ -152,6 +350,7 @@ class RunLog:
         return {
             "schema": TRACE_SCHEMA_VERSION,
             "driver_seconds": self.driver_seconds,
+            "meta": dict(self.meta),
             "jobs": [span.to_dict() for span in spans if span is not None],
         }
 
@@ -174,17 +373,81 @@ class SimulatedCluster:
         """Start a fresh run log (call between algorithm invocations)."""
         self.log = RunLog()
 
-    def job_simulated_seconds(self, result: JobResult) -> float:
-        """Price one executed job under the cluster's cost model."""
+    def _stage_task_times(self, stage: StageSpan) -> list[tuple[float, float]]:
+        """Per-task ``(total, backup)`` durations for speculative placement.
+
+        ``total`` is the primary attempt chain's slot occupancy (failed
+        attempts included) and ``backup`` what a fresh re-execution costs
+        — the last clean attempt's measured time.  Speculative attempt
+        spans written by an earlier pricing are excluded, so re-pricing a
+        logged run (:func:`price_log`) never double-counts backups.
+        """
+        startup = self.config.task_startup_seconds
+        times: list[tuple[float, float]] = []
+        for task in stage.tasks:
+            real = [a for a in task.attempts if not a.speculative]
+            total = sum(a.wall_seconds for a in real)
+            clean = next(
+                (a.wall_seconds for a in reversed(real) if not a.failed), total
+            )
+            times.append((total + startup, clean + startup))
+        return times
+
+    def _stage_schedule(
+        self, result: JobResult, stage_name: str
+    ) -> SpeculativeSchedule | None:
+        """Speculative placement of one stage, or None when not applicable."""
         cfg = self.config
-        map_times = [t + cfg.task_startup_seconds for t in result.map_task_seconds]
-        reduce_times = [t + cfg.task_startup_seconds for t in result.reduce_task_seconds]
-        shuffle_seconds = result.shuffle_bytes / cfg.shuffle_bytes_per_second
+        if not cfg.speculation or result.trace is None:
+            return None
+        stage = result.trace.stage(stage_name)
+        if stage is None or not stage.tasks:
+            return None
+        slots = cfg.map_slots if stage_name == "map" else cfg.reduce_slots
+        return speculative_makespan(
+            self._stage_task_times(stage),
+            slots,
+            quantile=cfg.speculation_quantile,
+            slowdown=cfg.speculation_slowdown,
+            min_completed=cfg.speculation_min_completed,
+        )
+
+    def _stage_prices(self, result: JobResult) -> dict[str, float]:
+        """Per-stage simulated seconds of one executed job."""
+        cfg = self.config
+        prices = {
+            "map": makespan(
+                [t + cfg.task_startup_seconds for t in result.map_task_seconds],
+                cfg.map_slots,
+            ),
+            "shuffle": result.shuffle_bytes / cfg.shuffle_bytes_per_second,
+            "reduce": makespan(
+                [t + cfg.task_startup_seconds for t in result.reduce_task_seconds],
+                cfg.reduce_slots,
+            ),
+        }
+        if cfg.speculation:
+            for stage_name in ("map", "reduce"):
+                schedule = self._stage_schedule(result, stage_name)
+                if schedule is not None:
+                    prices[stage_name] = schedule.seconds
+        return prices
+
+    def job_simulated_seconds(self, result: JobResult) -> float:
+        """Price one executed job under the cluster's cost model.
+
+        With ``speculation`` enabled (and a trace present), the map and
+        reduce stages are placed by :func:`speculative_makespan` instead
+        of plain :func:`makespan` — backup attempts occupy slots and the
+        first finisher wins, so the result is never above the
+        non-speculative placement.
+        """
+        prices = self._stage_prices(result)
         return (
-            cfg.job_startup_seconds
-            + makespan(map_times, cfg.map_slots)
-            + shuffle_seconds
-            + makespan(reduce_times, cfg.reduce_slots)
+            self.config.job_startup_seconds
+            + prices["map"]
+            + prices["shuffle"]
+            + prices["reduce"]
         )
 
     def run_job(self, job: MapReduceJob, splits: list[InputSplit]) -> JobResult:
@@ -203,25 +466,47 @@ class SimulatedCluster:
         configuration, so they are filled in at pricing time.  The combine
         stage is free — combining runs inside the map tasks, whose time it
         is already part of.
+
+        With speculation enabled, every backup the scheduler launched is
+        appended to its task as a *speculative* attempt span (losers
+        flagged ``canceled``, and the primary attempt flagged when the
+        backup won), and the job's counters record
+        ``speculation.backups_launched`` / ``speculation.backups_won``.
         """
         span = result.trace
         if span is None:
             return
-        cfg = self.config
         span.simulated_seconds = result.simulated_seconds
-        prices = {
-            "map": makespan(
-                [t + cfg.task_startup_seconds for t in result.map_task_seconds],
-                cfg.map_slots,
-            ),
-            "shuffle": result.shuffle_bytes / cfg.shuffle_bytes_per_second,
-            "reduce": makespan(
-                [t + cfg.task_startup_seconds for t in result.reduce_task_seconds],
-                cfg.reduce_slots,
-            ),
-        }
+        prices = self._stage_prices(result)
         for stage in span.stages:
             stage.simulated_seconds = prices.get(stage.name, 0.0)
+        if not self.config.speculation:
+            return
+        for stage_name in ("map", "reduce"):
+            schedule = self._stage_schedule(result, stage_name)
+            if schedule is None:
+                continue
+            stage = span.stage(stage_name)
+            assert stage is not None
+            for backup in schedule.backups:
+                task = stage.tasks[backup.task_index]
+                if backup.won:
+                    for attempt in reversed(task.attempts):
+                        if not attempt.speculative and not attempt.failed:
+                            attempt.canceled = True
+                            break
+                task.attempts.append(
+                    AttemptSpan(
+                        index=len(task.attempts) + 1,
+                        wall_seconds=backup.occupied_seconds,
+                        failed=False,
+                        speculative=True,
+                        canceled=not backup.won,
+                    )
+                )
+                result.counters.increment("speculation.backups_launched")
+                if backup.won:
+                    result.counters.increment("speculation.backups_won")
 
     @contextmanager
     def driver(self) -> Iterator[None]:

@@ -212,7 +212,13 @@ def run_task_attempts(
                 )
             )
             return result, span
-        # A failed attempt still burns (a fraction of) its runtime.
+        # A failed attempt burns its full runtime before dying (the task
+        # is executed and its output discarded — Hadoop's failure mode is
+        # a task lost near completion, not one rejected at submission).
+        # This is what makes injected failures visible to the straggler
+        # model: the retried task occupies its slot for every attempt, so
+        # a speculative backup (priced from the clean attempt) can win.
+        task_callable()
         span.attempts.append(
             AttemptSpan(
                 index=attempts, wall_seconds=time.perf_counter() - start, failed=True

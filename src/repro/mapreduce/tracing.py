@@ -47,16 +47,29 @@ __all__ = [
 
 #: Version of the trace JSON layout.  Bump when a field is added, removed,
 #: or changes meaning; the golden-schema test pins the current shape.
-TRACE_SCHEMA_VERSION = 1
+#: Schema 2 added the ``speculative``/``canceled`` attempt flags and the
+#: top-level ``meta`` document (layer plan of DP runs).
+TRACE_SCHEMA_VERSION = 2
 
 
 @dataclass
 class AttemptSpan:
-    """One task attempt: retries of a failed task are siblings, not copies."""
+    """One task attempt: retries of a failed task are siblings, not copies.
+
+    ``speculative`` marks a *backup* attempt the simulated scheduler
+    launched against a straggling task — those exist only in the pricing
+    model (the runtime executed the task once), so their ``wall_seconds``
+    is simulated slot occupancy, not measured time, and they are excluded
+    from the task's wall total.  ``canceled`` marks the attempt that lost
+    the race once its duplicate finished (a losing backup, or the
+    original attempt when the backup won).
+    """
 
     index: int
     wall_seconds: float
     failed: bool
+    speculative: bool = False
+    canceled: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -64,6 +77,8 @@ class AttemptSpan:
             "index": self.index,
             "wall_seconds": self.wall_seconds,
             "failed": self.failed,
+            "speculative": self.speculative,
+            "canceled": self.canceled,
         }
 
 
@@ -84,8 +99,18 @@ class TaskSpan:
 
     @property
     def wall_seconds(self) -> float:
-        """Total attempt time, failed attempts included (they burned a slot)."""
-        return sum(attempt.wall_seconds for attempt in self.attempts)
+        """Total *measured* attempt time, failed attempts included.
+
+        Speculative backup attempts are excluded: they are simulated by
+        the pricing model, not executed, so counting them would
+        double-charge re-pricing (``price_log``) and inflate measured
+        wall totals.
+        """
+        return sum(
+            attempt.wall_seconds
+            for attempt in self.attempts
+            if not attempt.speculative
+        )
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -177,16 +202,18 @@ class Tracer:
     def __init__(self) -> None:
         self.jobs: list[JobSpan] = []
         self.driver_seconds: float = 0.0
+        self.meta: dict[str, Any] = {}
 
     def record(self, span: JobSpan) -> None:
         """Append one finished job span."""
         self.jobs.append(span)
 
     def to_dict(self) -> dict[str, Any]:
-        """Render the versioned trace document (``schema`` = 1)."""
+        """Render the versioned trace document (``schema`` = 2)."""
         return {
             "schema": TRACE_SCHEMA_VERSION,
             "driver_seconds": self.driver_seconds,
+            "meta": dict(self.meta),
             "jobs": [span.to_dict() for span in self.jobs],
         }
 

@@ -21,6 +21,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.core.partitioning import parse_layer_plan
 from repro.exceptions import ReproError
 from repro.observe.bounds import BoundCheck, check_dgreedy_trace, check_dmhaarspace_trace
 from repro.observe.report import render_trace
@@ -69,6 +70,12 @@ def main(argv: list[str] | None = None) -> int:
         help="coarsening knob the checked run was built with (--dp-rho); "
         "the Eq. 6 budgets then use the coarsened approximate-tier grid",
     )
+    parser.add_argument(
+        "--plan",
+        help="explicit layer plan for --check-dp ('h=K' or 'H1,H2,...' with "
+        "optional '@driver'); omitted = the plan the trace recorded in "
+        "its meta document, falling back to uniform SUBTREE_LEAVES bands",
+    )
     args = parser.parse_args(argv)
     failed = False
     for path in args.traces:
@@ -85,8 +92,19 @@ def main(argv: list[str] | None = None) -> int:
                 failed = failed or not ok
             if args.check_dp is not None:
                 n_f, subtree_leaves_f, epsilon, delta = args.check_dp
+                plan = (
+                    parse_layer_plan(args.plan, int(n_f))
+                    if args.plan is not None
+                    else None
+                )
                 checks = check_dmhaarspace_trace(
-                    trace, int(n_f), int(subtree_leaves_f), epsilon, delta, args.rho
+                    trace,
+                    int(n_f),
+                    int(subtree_leaves_f),
+                    epsilon,
+                    delta,
+                    args.rho,
+                    plan=plan,
                 )
                 rendered, ok = _render_checks(checks)
                 print("Eq. 6 layer bounds:")

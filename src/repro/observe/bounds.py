@@ -53,7 +53,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.algos.minhaarspace import MRow, approx_params
-from repro.core.partitioning import Layer, dp_layers, root_base_partition
+from repro.core.partitioning import LayerPlan, parse_layer_plan, root_base_partition
 from repro.exceptions import InvalidInputError
 from repro.mapreduce.serde import record_size
 from repro.mapreduce.tracing import job_emitted_bytes
@@ -105,23 +105,39 @@ class LayerBound:
 
 
 def dmhaarspace_layer_bounds(
-    n: int, subtree_leaves: int, epsilon: float, delta: float, rho: float = 0.0
+    n: int,
+    subtree_leaves: int,
+    epsilon: float,
+    delta: float,
+    rho: float = 0.0,
+    plan: LayerPlan | None = None,
 ) -> list[LayerBound]:
     """Eq. 6 per-layer byte budgets for a :func:`dm_haar_space` run.
 
     Mirrors :class:`~repro.core.dp_framework.LayeredDPDriver`: the same
-    layer decomposition (height ``min(log2 subtree_leaves, log2 N)``) and
-    the same effective (or, at ``rho > 0``, coarsened) ``delta``, so
-    bound ``i`` lines up with the traced job ``dp-layer-i``.
+    layer decomposition and the same effective (or, at ``rho > 0``,
+    coarsened) ``delta``, so bound ``i`` lines up with the traced job
+    ``dp-layer-i``.  ``plan`` budgets a variable-height
+    :class:`~repro.core.partitioning.LayerPlan` (Eq. 6 generalizes
+    band-by-band: a band whose roots sit at level ``u`` ships ``2^u``
+    records); without one, the classic ``subtree_leaves`` decomposition
+    is assumed.  A driver-resident top band launches no job and ships
+    nothing, so it produces no bound row.
     """
     if n < 2:
         raise InvalidInputError("Eq. 6 bounds need at least a 2-point tree")
-    height = min(subtree_leaves.bit_length() - 1, n.bit_length() - 1)
+    if plan is None:
+        height = min(subtree_leaves.bit_length() - 1, n.bit_length() - 1)
+        plan = LayerPlan.uniform(n, height)
+    elif plan.n != n:
+        raise InvalidInputError(f"layer plan is for N={plan.n}, not N={n}")
     entries = max_row_entries(epsilon, delta, n, rho)
     per_record_bound = _LAYER_RECORD_OVERHEAD + MRow.sized(entries)
     per_record_floor = _LAYER_RECORD_OVERHEAD + MRow.sized(1)
     bounds = []
-    for layer in dp_layers(n, height):
+    for layer in plan.layers():
+        if not plan.is_distributed(layer.index):
+            continue
         count = len(layer.subtrees)
         bounds.append(
             LayerBound(
@@ -184,6 +200,7 @@ def check_dmhaarspace_trace(
     epsilon: float,
     delta: float,
     rho: float = 0.0,
+    plan: LayerPlan | None = None,
 ) -> list[BoundCheck]:
     """Check every traced bottom-up DP layer against its Eq. 6 budget.
 
@@ -195,10 +212,22 @@ def check_dmhaarspace_trace(
     the assertion meaningless.  Pass the ``rho`` the run was built with:
     coarsened runs are budgeted with the coarsened Eq. 6 parameters, no
     slack.
+
+    The layer decomposition is resolved in precedence order: an explicit
+    ``plan`` argument, then the ``layer_plan`` the traced run recorded in
+    its ``meta`` document (every DP run records its resolved plan, so
+    traces are self-describing), then the classic ``subtree_leaves``
+    decomposition.
     """
+    if plan is None:
+        recorded = trace.get("meta", {}).get("layer_plan")
+        if recorded is not None:
+            plan = parse_layer_plan(str(recorded), n)
     by_name = {
         bound.job_name: bound
-        for bound in dmhaarspace_layer_bounds(n, subtree_leaves, epsilon, delta, rho)
+        for bound in dmhaarspace_layer_bounds(
+            n, subtree_leaves, epsilon, delta, rho, plan=plan
+        )
     }
     jobs = _jobs_by_label(trace, "dp.bottom_up")
     if not jobs:

@@ -181,7 +181,7 @@ class TestTraceEquivalence:
 class TestGoldenSchema:
     """Pin the trace JSON shape; changing it requires a schema bump."""
 
-    ROOT_KEYS = {"schema", "driver_seconds", "jobs"}
+    ROOT_KEYS = {"schema", "driver_seconds", "meta", "jobs"}
     JOB_KEYS = {"kind", "name", "stage_label", "wall_seconds", "simulated_seconds", "stages"}
     STAGE_KEYS = {
         "kind",
@@ -194,7 +194,7 @@ class TestGoldenSchema:
         "tasks",
     }
     TASK_KEYS = {"kind", "name", "records_out", "bytes_out", "wall_seconds", "attempts"}
-    ATTEMPT_KEYS = {"kind", "index", "wall_seconds", "failed"}
+    ATTEMPT_KEYS = {"kind", "index", "wall_seconds", "failed", "speculative", "canceled"}
 
     def trace(self) -> dict:
         cluster = SimulatedCluster()
@@ -203,7 +203,7 @@ class TestGoldenSchema:
 
     def test_schema_version_field(self):
         trace = self.trace()
-        assert trace["schema"] == TRACE_SCHEMA_VERSION == 1
+        assert trace["schema"] == TRACE_SCHEMA_VERSION == 2
 
     def test_key_sets_exact(self):
         trace = self.trace()
