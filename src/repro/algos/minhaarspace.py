@@ -38,6 +38,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.analysis.sanitizer import current as sanitizer_current
 from repro.exceptions import InfeasibleErrorBound, InvalidInputError
 from repro.wavelet.synopsis import WaveletSynopsis
 from repro.wavelet.transform import is_power_of_two
@@ -697,6 +698,11 @@ def _run_levels(
     finally:
         if executor is not None:
             executor.shutdown(wait=False)
+    sanitizer = sanitizer_current()
+    if sanitizer is not None:
+        # Sub-trees may run concurrently (thread map tasks); the sanitizer
+        # sorts kernel digests at report time, so call order cannot matter.
+        sanitizer.observe_kernel_rows(rows)
     return rows
 
 

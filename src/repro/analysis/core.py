@@ -9,7 +9,12 @@ rule in ``docs/STATIC_ANALYSIS.md``: a rule may need an explicit
 suppression where the pattern is intentional.
 
 Suppression: append ``# lint: ignore[RULE-ID]`` (comma-separated for
-several rules, or no bracket to silence every rule) to the flagged line.
+several rules) to the flagged line, optionally followed by
+``-- justification``.  Suppressions are *rule-scoped only*: a bracketless
+ignore comment suppresses nothing and is itself reported (LS001), a
+scoped suppression whose rule fired nothing on its line is reported as
+unused (LS002, for rules in the running set), and suppressions of the
+interprocedural RC family must carry a justification (LS003).
 """
 
 from __future__ import annotations
@@ -26,14 +31,44 @@ __all__ = [
     "Finding",
     "ParsedModule",
     "Rule",
+    "SUPPRESSION_RULES",
+    "Suppression",
     "analyze_paths",
     "analyze_source",
+    "apply_suppressions",
     "dotted_name",
     "iter_python_files",
     "parse_module",
+    "scan_suppressions",
 ]
 
-_SUPPRESSION = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_\-,\s]+)\])?")
+_SUPPRESSION = re.compile(
+    r"#\s*lint:\s*ignore"
+    r"(?:\[(?P<rules>[A-Za-z0-9_\-,\s]+)\])?"
+    r"(?:\s*--\s*(?P<why>.*))?"
+)
+
+#: The lint-suppression meta-rules.  They are emitted by
+#: :func:`apply_suppressions` rather than by :class:`Rule` visitors, and
+#: they cannot themselves be suppressed — a suppression that silences the
+#: rule about bad suppressions would be unauditable.
+SUPPRESSION_RULES = {
+    "LS001": (
+        "blanket lint-ignore comment (no rule list) suppresses nothing; "
+        "scope it as `# lint: ignore[RULE-ID]`"
+    ),
+    "LS002": (
+        "suppression names a rule that reported nothing on its line; delete "
+        "the stale entry"
+    ),
+    "LS003": (
+        "suppressions of the interprocedural race family (RCxxx) must carry "
+        "a `-- justification` explaining why the shared write is ordering-safe"
+    ),
+}
+
+#: Rule-id prefixes whose suppressions require a justification comment.
+_JUSTIFIED_PREFIXES = ("RC",)
 
 
 @dataclass(frozen=True)
@@ -93,17 +128,117 @@ def parse_module(source: str, path: str) -> ParsedModule:
     return ParsedModule(path=path, tree=tree, lines=source.splitlines())
 
 
-def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
-    """True when the finding's line carries a matching suppression."""
-    if not 1 <= finding.line <= len(lines):
-        return False
-    match = _SUPPRESSION.search(lines[finding.line - 1])
-    if match is None:
-        return False
-    rules = match.group("rules")
-    if rules is None:
-        return True
-    return finding.rule in {token.strip() for token in rules.split(",")}
+@dataclass(frozen=True)
+class Suppression:
+    """One rule-scoped lint-ignore comment, parsed from a source line."""
+
+    path: str
+    line: int
+    col: int
+    #: Rule ids in the bracket; empty means a (disallowed) blanket comment.
+    rules: tuple[str, ...]
+    #: Free text after ``--`` — the why of the suppression.
+    justification: str
+
+
+def scan_suppressions(lines: Sequence[str], path: str) -> list[Suppression]:
+    """Parse every suppression comment in ``lines``."""
+    found: list[Suppression] = []
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESSION.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        scoped = (
+            tuple(token.strip() for token in rules.split(",") if token.strip())
+            if rules is not None
+            else ()
+        )
+        found.append(
+            Suppression(
+                path=path,
+                line=number,
+                col=match.start() + 1,
+                rules=scoped,
+                justification=(match.group("why") or "").strip(),
+            )
+        )
+    return found
+
+
+def apply_suppressions(
+    findings: Iterable[Finding],
+    suppressions: Sequence[Suppression],
+    known_rule_ids: Iterable[str],
+    *,
+    report_misuse: bool = True,
+) -> list[Finding]:
+    """Filter ``findings`` through rule-scoped suppressions.
+
+    Returns the surviving findings plus the suppression meta-findings:
+    LS001 for blanket comments (which suppress nothing), LS002 for a
+    scoped rule id in ``known_rule_ids`` that matched no finding on its
+    line, and LS003 for an RC-family suppression without a justification.
+    ``report_misuse=False`` limits the meta-findings to LS002 — used by
+    the project analyzer, whose files the per-file pass already walked
+    (one LS001/LS003 per comment, not one per analysis layer).
+    """
+    known = set(known_rule_ids)
+    kept: list[Finding] = []
+    used: set[tuple[int, str]] = set()
+    by_line: dict[int, set[str]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, set()).update(suppression.rules)
+    for finding in findings:
+        if finding.rule in by_line.get(finding.line, set()):
+            used.add((finding.line, finding.rule))
+        else:
+            kept.append(finding)
+    for suppression in suppressions:
+        if not suppression.rules:
+            if report_misuse:
+                kept.append(
+                    Finding(
+                        rule="LS001",
+                        path=suppression.path,
+                        line=suppression.line,
+                        col=suppression.col,
+                        message=SUPPRESSION_RULES["LS001"],
+                    )
+                )
+            continue
+        if report_misuse and not suppression.justification:
+            unjustified = [
+                rule
+                for rule in suppression.rules
+                if rule.startswith(_JUSTIFIED_PREFIXES)
+            ]
+            if unjustified:
+                kept.append(
+                    Finding(
+                        rule="LS003",
+                        path=suppression.path,
+                        line=suppression.line,
+                        col=suppression.col,
+                        message=f"suppression of {', '.join(unjustified)} lacks a "
+                        "`-- justification`: say why the shared write is "
+                        "ordering-safe",
+                    )
+                )
+        for rule in suppression.rules:
+            if rule in known and (suppression.line, rule) not in used:
+                kept.append(
+                    Finding(
+                        rule="LS002",
+                        path=suppression.path,
+                        line=suppression.line,
+                        col=suppression.col,
+                        message=f"unused suppression: {rule} reported nothing on "
+                        "this line",
+                    )
+                )
+    kept.sort(key=lambda finding: (finding.path, finding.line, finding.col, finding.rule))
+    return kept
 
 
 def analyze_source(source: str, path: str, rules: Sequence[Rule]) -> list[Finding]:
@@ -111,13 +246,17 @@ def analyze_source(source: str, path: str, rules: Sequence[Rule]) -> list[Findin
     module = parse_module(source, path)
     location = Path(path)
     findings: list[Finding] = []
+    applicable: list[Rule] = []
     for rule in rules:
         if not rule.applies_to(location):
             continue
+        applicable.append(rule)
         findings.extend(rule.check(module))
-    kept = [finding for finding in findings if not _suppressed(finding, module.lines)]
-    kept.sort(key=lambda finding: (finding.path, finding.line, finding.col, finding.rule))
-    return kept
+    return apply_suppressions(
+        findings,
+        scan_suppressions(module.lines, path),
+        {rule.rule_id for rule in applicable},
+    )
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:

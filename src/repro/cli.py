@@ -24,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.algos.minhaarspace import DP_KERNELS
+from repro.analysis import sanitizer as _sanitizer
 from repro.core.thresholding import ALGORITHMS, build_synopsis
 from repro.exceptions import ReproError
 from repro.mapreduce.cluster import (
@@ -81,18 +82,27 @@ def _cmd_build(args: argparse.Namespace) -> int:
     cluster = SimulatedCluster(
         config=config, runtime=make_runtime(args.runtime, shuffle=shuffle)
     )
-    synopsis = build_synopsis(
-        data,
-        budget=args.budget,
-        algorithm=args.algorithm,
-        delta=args.delta,
-        sanity_bound=args.sanity_bound,
-        subtree_leaves=args.subtree_leaves,
-        cluster=cluster,
-        rho=args.dp_rho,
-        dp_kernel=args.dp_kernel,
-        layer_plan=args.layer_plan,
-    )
+    if args.sanitize:
+        _sanitizer.activate(_sanitizer.Sanitizer(label=args.runtime))
+    try:
+        synopsis = build_synopsis(
+            data,
+            budget=args.budget,
+            algorithm=args.algorithm,
+            delta=args.delta,
+            sanity_bound=args.sanity_bound,
+            subtree_leaves=args.subtree_leaves,
+            cluster=cluster,
+            rho=args.dp_rho,
+            dp_kernel=args.dp_kernel,
+            layer_plan=args.layer_plan,
+        )
+    finally:
+        if args.sanitize:
+            active = _sanitizer.deactivate()
+            if active is not None:
+                active.write(args.sanitize)
+                print(f"wrote sanitizer report to {args.sanitize}", file=sys.stderr)
     if args.trace:
         Path(args.trace).write_text(json.dumps(cluster.log.trace(), indent=2))
         print(
@@ -244,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         help="write the run's stage-level trace JSON here (inspect with "
         "`python -m repro.observe`)",
+    )
+    build.add_argument(
+        "--sanitize",
+        metavar="REPORT",
+        help="hash job outputs, shuffle partitions, and kernel row tables "
+        "into this JSON report; compare two runtimes' reports with "
+        "`python -m repro.analysis --compare-digests A B`",
     )
     build.set_defaults(handler=_cmd_build)
 

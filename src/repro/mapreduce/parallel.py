@@ -83,6 +83,15 @@ class ThreadPoolRuntime(LocalRuntime):
             max_workers = default_worker_count()
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if type(failure_injector) is FailureInjector:
+            # The base injector shares one unlocked RNG across attempts —
+            # fine sequentially, racy from pool threads.  Rebuild it as the
+            # lock-guarded variant (same seed, so same draw sequence).
+            failure_injector = ThreadSafeFailureInjector(
+                failure_injector.probability,
+                failure_injector.seed,
+                failure_injector.max_attempts,
+            )
         super().__init__(failure_injector, tracer, shuffle)
         self.max_workers = max_workers
 

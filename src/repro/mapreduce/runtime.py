@@ -42,6 +42,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.analysis.sanitizer import current as sanitizer_current
 from repro.exceptions import JobFailedError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import InputSplit
@@ -80,7 +81,10 @@ class FailureInjector:
 
     def attempt_fails(self) -> bool:
         """Decide whether the next task attempt fails."""
-        return bool(self._rng.random() < self.probability)
+        # Unlocked draw is safe on the sequential runtimes only; the
+        # concurrent runtimes substitute a serialized or per-label injector
+        # (ThreadPoolRuntime auto-wraps, ProcessSafeFailureInjector derives).
+        return bool(self._rng.random() < self.probability)  # lint: ignore[RC003] -- concurrent runtimes never draw from this shared RNG: ThreadPoolRuntime auto-wraps in ThreadSafeFailureInjector and process runs derive per-label injectors via resolve()
 
     def resolve(self, task_label: str) -> "FailureInjector":
         """The injector to use for one task.
@@ -388,6 +392,9 @@ class LocalRuntime:
             )
 
         partitions = shuffle.partitions()
+        sanitizer = sanitizer_current()
+        if sanitizer is not None:
+            sanitizer.observe_partitions(job.name, partitions)
         reduce_results = self._execute_reduce_tasks(job, partitions)
         reduce_task_seconds = [span.wall_seconds for _, span in reduce_results]
         reducer_outputs = [output for output, _ in reduce_results]
@@ -435,4 +442,7 @@ class LocalRuntime:
         result.trace = JobSpan(name=job.name, stage_label=job.stage_label, stages=stages)
         if self.tracer is not None:
             self.tracer.record(result.trace)
+        sanitizer = sanitizer_current()
+        if sanitizer is not None:
+            sanitizer.observe_job_output(job.name, result.output)
         return result

@@ -480,12 +480,39 @@ class TestHarness:
         """
         assert "KC002" not in findings_for(source)
 
-    def test_blanket_suppression_comment(self):
+    def test_blanket_suppression_comment_suppresses_nothing(self):
+        # A bracketless ignore comment used to silence every rule on the
+        # line; it now suppresses nothing and is itself reported (LS001).
         source = """
             def is_zero(x: float) -> bool:
                 return x == 0.0  # lint: ignore
         """
+        found = findings_for(source)
+        assert "KC002" in found
+        assert "LS001" in found
+
+    def test_unused_suppression_is_reported(self):
+        source = """
+            def well_typed(x: float) -> float:
+                return x + 1.0  # lint: ignore[KC002]
+        """
+        assert findings_for(source) == ["LS002"]
+
+    def test_unknown_rule_id_is_not_reported_unused(self):
+        # Per-file passes only know their own running set; a suppression
+        # of an interprocedural rule must not be flagged stale here.
+        source = """
+            def well_typed(x: float) -> float:
+                return x + 1.0  # lint: ignore[RC003] -- driver-only path
+        """
         assert findings_for(source) == []
+
+    def test_rc_suppression_without_justification(self):
+        source = """
+            def well_typed(x: float) -> float:
+                return x + 1.0  # lint: ignore[RC003]
+        """
+        assert "LS003" in findings_for(source)
 
     def test_suppression_of_other_rule_does_not_silence(self):
         source = """
@@ -543,8 +570,31 @@ class TestHarness:
     def test_cli_list_rules(self, capsys):
         assert analysis_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("PS001", "DT001", "KC001", "AH001", "TG001"):
+        for rule_id in (
+            "PS001",
+            "DT001",
+            "KC001",
+            "AH001",
+            "TG001",
+            "RC001",
+            "RC003",
+            "PS003",
+            "LS001",
+        ):
             assert rule_id in out
+
+    def test_cli_writes_sarif(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x):\n    return x\n")
+        sarif_path = tmp_path / "out.sarif"
+        assert analysis_main([str(dirty), "--sarif-file", str(sarif_path)]) == 1
+        capsys.readouterr()
+        import json
+
+        log = json.loads(sarif_path.read_text())
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert any(result["ruleId"] == "TG001" for result in results)
 
     def test_repo_source_tree_is_clean(self):
         repo_src = Path(__file__).resolve().parent.parent / "src"

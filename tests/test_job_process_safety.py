@@ -152,6 +152,50 @@ def test_driver_state_jobs_opt_out(cls):
     assert "process_safe" in cls.__dict__, "opt-out must be explicit on the class"
 
 
+def test_static_pickle_verdicts_agree_with_runtime_registry():
+    # The whole-program analyzer re-derives process-safety transitively
+    # (call-graph walk from each job's task methods) instead of trusting
+    # the declared flag.  Its verdicts must agree with this file's
+    # runtime registry class by class: every job that actually pickle
+    # round-trips is statically proven safe, and every documented
+    # driver-state job is statically refuted — a disagreement in either
+    # direction means the static model or the registry has drifted.
+    from pathlib import Path
+
+    from repro.analysis.pickling import job_pickle_verdicts
+    from repro.analysis.project import load_or_build_index
+
+    repo_src = Path(__file__).resolve().parent.parent / "src"
+    verdicts = job_pickle_verdicts(load_or_build_index([repo_src], None))
+    by_name = {
+        qualname.rsplit(".", 1)[-1]: verdict for qualname, verdict in verdicts.items()
+    }
+
+    runtime_names = {
+        cls.__name__ for cls in PROCESS_SAFE_INSTANCES
+    } | {cls.__name__ for cls in KNOWN_DRIVER_STATE_JOBS}
+    assert set(by_name) == runtime_names, (
+        "the static analyzer and the runtime registry must classify the "
+        f"same set of concrete jobs; static-only={set(by_name) - runtime_names} "
+        f"runtime-only={runtime_names - set(by_name)}"
+    )
+
+    for cls in PROCESS_SAFE_INSTANCES:
+        verdict = by_name[cls.__name__]
+        assert verdict.process_safe, (
+            f"{cls.__qualname__} pickle round-trips at runtime but the static "
+            f"walk claims otherwise: {verdict.evidence}"
+        )
+        assert verdict.declared is True
+    for cls in KNOWN_DRIVER_STATE_JOBS:
+        verdict = by_name[cls.__name__]
+        assert not verdict.process_safe, (
+            f"{cls.__qualname__} is documented driver-state but the static "
+            "walk found no evidence why — document or fix"
+        )
+        assert verdict.declared is False
+
+
 def test_driver_state_jobs_run_via_in_process_fallback():
     # The layered DP jobs (process_safe=False) must produce identical
     # results under the process runtime (which falls back in-process for
