@@ -19,15 +19,25 @@ from numpy.typing import ArrayLike
 from repro.core.thresholding import build_synopsis
 from repro.exceptions import InvalidInputError, ReproError
 from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.synopsis2d import WaveletSynopsis2D
 
 __all__ = ["SynopsisStore"]
 
+#: Either synopsis dimensionality the store can hold.
+AnySynopsis = WaveletSynopsis | WaveletSynopsis2D
+
 
 class SynopsisStore:
-    """A named collection of wavelet synopses with query helpers."""
+    """A named collection of wavelet synopses with query helpers.
+
+    Holds 1-D and 2-D synopses; the 1-D query helpers reject 2-D series
+    (use :meth:`get` and the synopsis' own ``cell_query`` /
+    ``rectangle_sum`` for those), while registration, reporting, and
+    persistence cover both.
+    """
 
     def __init__(self) -> None:
-        self._synopses: dict[str, WaveletSynopsis] = {}
+        self._synopses: dict[str, AnySynopsis] = {}
         self._lengths: dict[str, int] = {}
 
     def __contains__(self, name: str) -> bool:
@@ -66,20 +76,37 @@ class SynopsisStore:
         self._lengths[name] = int(values.size)
         return synopsis
 
-    def register(self, name: str, synopsis: WaveletSynopsis, original_length: int | None = None) -> None:
-        """Register a prebuilt synopsis (e.g. loaded from elsewhere)."""
+    def register(
+        self, name: str, synopsis: AnySynopsis, original_length: int | None = None
+    ) -> None:
+        """Register a prebuilt synopsis (1-D or 2-D, e.g. loaded from elsewhere)."""
+        if isinstance(synopsis, WaveletSynopsis2D):
+            fallback = synopsis.shape[0] * synopsis.shape[1]
+        else:
+            fallback = synopsis.n
         self._synopses[name] = synopsis
         self._lengths[name] = int(
             original_length
             or synopsis.meta.get("original_length")
-            or synopsis.n
+            or fallback
         )
 
-    def _get(self, name: str) -> WaveletSynopsis:
+    def get(self, name: str) -> AnySynopsis:
+        """The registered synopsis itself (1-D or 2-D)."""
         try:
             return self._synopses[name]
         except KeyError:
-            raise ReproError(f"unknown series {name!r}") from None
+            raise ReproError(
+                f"unknown series {name!r}; available: {self.names()}"
+            ) from None
+
+    def _get(self, name: str) -> WaveletSynopsis:
+        synopsis = self.get(name)
+        if isinstance(synopsis, WaveletSynopsis2D):
+            raise InvalidInputError(
+                f"series {name!r} is 2-D; 1-D query helpers do not apply"
+            )
+        return synopsis
 
     def _clip(self, name: str, lo: int, hi: int) -> tuple[int, int]:
         length = self._lengths[name]
@@ -111,7 +138,7 @@ class SynopsisStore:
 
     def guarantee(self, name: str) -> float:
         """The series' recorded max-abs guarantee (inf when unknown)."""
-        return float(self._get(name).meta.get("max_abs_guarantee", float("inf")))
+        return float(self.get(name).meta.get("max_abs_guarantee", float("inf")))
 
     def range_sum_bounds(self, name: str, lo: int, hi: int) -> tuple[float, float]:
         """Deterministic bounds on the exact range sum.
@@ -123,27 +150,37 @@ class SynopsisStore:
         slack = (hi - lo + 1) * self.guarantee(name)
         return approx - slack, approx + slack
 
-    def report(self) -> list[dict[str, Any]]:
-        """Per-series summary: size, compression ratio, guarantee."""
-        rows = []
-        for name in self.names():
-            synopsis = self._synopses[name]
+    def report(self, name: str | None = None) -> list[dict[str, Any]]:
+        """Per-series summary: size, compression ratio, guarantee.
+
+        With ``name``, a single-row report for that series; unknown
+        names fail with the available-series listing (routed through
+        :meth:`get`), never a raw ``KeyError``.
+        """
+        rows: list[dict[str, Any]] = []
+        for series_name in [name] if name is not None else self.names():
+            synopsis = self.get(series_name)
             rows.append(
                 {
-                    "series": name,
-                    "length": self._lengths[name],
+                    "series": series_name,
+                    "length": self._lengths[series_name],
                     "coefficients": synopsis.size,
-                    "ratio": self._lengths[name] / max(synopsis.size, 1),
-                    "max_abs_guarantee": self.guarantee(name),
+                    "ratio": self._lengths[series_name] / max(synopsis.size, 1),
+                    "max_abs_guarantee": self.guarantee(series_name),
                     "algorithm": synopsis.meta.get("algorithm"),
                 }
             )
         return rows
 
     def save(self, path: str | Path) -> None:
-        """Serialize the whole store to a JSON file."""
+        """Serialize the whole store to a JSON file.
+
+        Entries are tagged ``kind: "1d" | "2d"`` so a load can pick the
+        right synopsis class.
+        """
         payload = {
             name: {
+                "kind": "2d" if isinstance(synopsis, WaveletSynopsis2D) else "1d",
                 "synopsis": synopsis.to_dict(),
                 "original_length": self._lengths[name],
             }
@@ -153,13 +190,16 @@ class SynopsisStore:
 
     @classmethod
     def load(cls, path: str | Path) -> "SynopsisStore":
-        """Inverse of :meth:`save`."""
+        """Inverse of :meth:`save` (pre-tag payloads load as 1-D)."""
         store = cls()
         payload = json.loads(Path(path).read_text())
         for name, entry in payload.items():
+            synopsis: AnySynopsis
+            if entry.get("kind", "1d") == "2d":
+                synopsis = WaveletSynopsis2D.from_dict(entry["synopsis"])
+            else:
+                synopsis = WaveletSynopsis.from_dict(entry["synopsis"])
             store.register(
-                name,
-                WaveletSynopsis.from_dict(entry["synopsis"]),
-                original_length=entry["original_length"],
+                name, synopsis, original_length=entry["original_length"]
             )
         return store

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
@@ -35,6 +36,7 @@ from repro.mapreduce.cluster import (
 )
 from repro.mapreduce.hdfs import FileDataset
 from repro.mapreduce.shuffle import DEFAULT_BUFFER_BYTES, SHUFFLE_MODES, ShuffleConfig
+from repro.serving import Query, ShardedSynopsisStore
 from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
 from repro.wavelet.synopsis import WaveletSynopsis
 
@@ -167,6 +169,85 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    cluster = SimulatedCluster(runtime=make_runtime(args.runtime))
+    store_path = Path(args.store)
+    if store_path.exists():
+        store = ShardedSynopsisStore.load(store_path, cluster=cluster)
+    else:
+        store = ShardedSynopsisStore(
+            shards=args.shards,
+            cache_entries=args.cache_entries,
+            segment_leaves=args.segment_leaves,
+            cluster=cluster,
+        )
+    for name, data_path in args.create or []:
+        version = store.create(
+            name,
+            _load_data(data_path),
+            tier=args.tier,
+            budget=args.budget,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            base_leaves=args.base_leaves,
+            subtree_leaves=args.subtree_leaves,
+            rho=args.dp_rho,
+            dp_kernel=args.dp_kernel,
+        )
+        print(
+            f"created {name} v{version.version} tier={version.tier} "
+            f"size={version.synopsis.size} guarantee={version.guarantee:.6g}",
+            file=sys.stderr,
+        )
+    scratch = args.rebuild_mode == "scratch"
+    for name, data_path in args.append or []:
+        version = store.append(name, _load_data(data_path), full_rebuild=scratch)
+        print(
+            f"appended to {name}: v{version.version} mode={version.stats.mode} "
+            f"reused={version.stats.reused_subtrees}/{version.stats.total_subtrees} "
+            f"sub-trees",
+            file=sys.stderr,
+        )
+    if args.queries:
+        entries = json.loads(Path(args.queries).read_text())
+        results = store.batch(
+            [
+                Query(
+                    op=entry["op"],
+                    series=entry["series"],
+                    index=entry.get("index"),
+                    lo=entry.get("lo"),
+                    hi=entry.get("hi"),
+                )
+                for entry in entries
+            ]
+        )
+        payload = [asdict(result) for result in results]
+        if args.out:
+            Path(args.out).write_text(json.dumps(payload, indent=2))
+            print(f"wrote {len(payload)} query results to {args.out}", file=sys.stderr)
+        else:
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+    store.save(store_path)
+    if args.sanitize:
+        report = store.digest_report(label=f"{args.runtime}:{args.rebuild_mode}")
+        Path(args.sanitize).write_text(json.dumps(report, indent=2))
+        print(
+            f"wrote serving digest report ({len(report['jobs'])} versions) "
+            f"to {args.sanitize}",
+            file=sys.stderr,
+        )
+    for row in store.report():
+        print(
+            f"{row['series']}: v{row['version']} tier={row['tier']} "
+            f"length={row['length']} coefficients={row['coefficients']} "
+            f"guarantee={row['max_abs_guarantee']:.6g}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Max-error wavelet synopses (SIGMOD'16 reproduction)"
@@ -277,6 +358,75 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("data")
     evaluate.add_argument("--sanity-bound", type=float, default=DEFAULT_SANITY_BOUND)
     evaluate.set_defaults(handler=_cmd_evaluate)
+
+    serve = commands.add_parser(
+        "serve",
+        help="online serving store: create/append series, answer batched queries",
+    )
+    serve.add_argument("store", help="store JSON (loaded if it exists, else created)")
+    serve.add_argument(
+        "--create",
+        nargs=2,
+        action="append",
+        metavar=("NAME", "DATA"),
+        help="register DATA under NAME and build version 1 (repeatable)",
+    )
+    serve.add_argument(
+        "--append",
+        nargs=2,
+        action="append",
+        metavar=("NAME", "DATA"),
+        help="append DATA to series NAME and re-threshold (repeatable)",
+    )
+    serve.add_argument(
+        "--tier",
+        default="greedy",
+        choices=("greedy", "dp"),
+        help="maintenance tier for --create: 'greedy' keeps --budget "
+        "coefficients, 'dp' pins an error target (--epsilon, or derived "
+        "from --budget)",
+    )
+    serve.add_argument("--budget", type=int, default=64, help="max coefficients B")
+    serve.add_argument(
+        "--epsilon", type=float, help="pinned max-abs error target (dp tier)"
+    )
+    serve.add_argument("--delta", type=float, default=1.0, help="DP quantization step")
+    serve.add_argument("--dp-rho", type=float, default=0.0, help="approximate DP knob")
+    serve.add_argument("--dp-kernel", default="auto", choices=sorted(DP_KERNELS))
+    serve.add_argument(
+        "--rebuild-mode",
+        default="incremental",
+        choices=("incremental", "scratch"),
+        help="'incremental' re-thresholds only dirtied sub-trees on append; "
+        "'scratch' rebuilds fully (the differential baseline) — results "
+        "are identical, only the work differs",
+    )
+    serve.add_argument(
+        "--queries",
+        help="JSON file: list of {op, series, index|lo+hi} batched lookups",
+    )
+    serve.add_argument("--out", help="write query results JSON here (default stdout)")
+    serve.add_argument("--shards", type=int, default=8, help="store shard count")
+    serve.add_argument(
+        "--cache-entries", type=int, default=256, help="reconstruction LRU capacity"
+    )
+    serve.add_argument(
+        "--segment-leaves",
+        type=int,
+        default=1024,
+        help="leaves per cached reconstruction segment",
+    )
+    serve.add_argument("--base-leaves", type=int, default=1024)
+    serve.add_argument("--subtree-leaves", type=int, default=1024)
+    serve.add_argument("--runtime", default="local", choices=sorted(RUNTIMES))
+    serve.add_argument(
+        "--sanitize",
+        metavar="REPORT",
+        help="write per-version synopsis digests in the sanitizer report "
+        "schema; incremental and scratch runs of the same sequence must "
+        "compare clean under `python -m repro.analysis --compare-digests`",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -54,7 +54,13 @@ from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
 from repro.wavelet.synopsis import WaveletSynopsis
 from repro.wavelet.transform import haar_transform, is_power_of_two
 
-__all__ = ["d_greedy_abs", "d_greedy_rel", "DEFAULT_BUCKET_WIDTH"]
+__all__ = [
+    "d_greedy_abs",
+    "d_greedy_rel",
+    "base_subtree_greedy",
+    "root_subtree_greedy",
+    "DEFAULT_BUCKET_WIDTH",
+]
 
 #: Default error-bucket width ``e_b`` of Algorithm 3.  Small enough that
 #: bucketing never visibly degrades quality; the ablation bench sweeps it.
@@ -486,6 +492,56 @@ def _distributed_greedy(
             "cluster": cluster.log.as_dict(),
         },
     )
+
+
+def base_subtree_greedy(
+    values: ArrayLike, budget: int
+) -> tuple[dict[int, float], float, float]:
+    """Partial-rebuild entry point: greedy-threshold one base sub-tree alone.
+
+    Runs GreedyAbs over the sub-tree's *detail* coefficients (the average
+    slot belongs to the root sub-tree — same split as Figure 4) with zero
+    incoming error, and cuts at ``budget``.  Returns ``(retained local
+    nodes, local max-abs detail error, sub-tree average)`` — the three pieces
+    the serving layer's compositional greedy tier caches per sub-tree,
+    recomputing only the sub-trees an append dirtied
+    (:func:`repro.core.partitioning.dirty_base_range`).  Pure function of
+    ``(values, budget)``, so an incremental rebuild that reuses cached
+    results is bit-identical to a from-scratch one (docs/SERVING.md).
+    """
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 1 or not is_power_of_two(data.shape[0]):
+        raise InvalidInputError("base sub-tree length must be a power of two")
+    if budget < 0:
+        raise InvalidInputError("budget must be non-negative")
+    local = haar_transform(data)
+    average = float(local[0])
+    local_coefficients = local.copy()
+    local_coefficients[0] = 0.0
+    run = GreedyAbsTree(local_coefficients, include_average=False).run_to_exhaustion()
+    step, error = run.best_cut(budget)
+    retained = {r.node: r.value for r in run.removals[step:]}
+    return retained, float(error), average
+
+
+def root_subtree_greedy(averages: ArrayLike, budget: int) -> tuple[dict[int, float], float]:
+    """Partial-rebuild entry point: greedy-threshold the root sub-tree.
+
+    ``averages`` are the base sub-trees' averages — the virtual leaves of
+    Section 5.2.  Root-tree node ``j`` *is* global error-tree node ``j``
+    for ``j < R``, so the retained mapping needs no index translation.
+    Returns ``(retained nodes, max-abs error over the virtual leaves)``.
+    """
+    virtual = np.asarray(averages, dtype=np.float64)
+    if virtual.ndim != 1 or not is_power_of_two(virtual.shape[0]):
+        raise InvalidInputError("the virtual-leaf count must be a power of two")
+    if budget < 0:
+        raise InvalidInputError("budget must be non-negative")
+    root_coefficients = haar_transform(virtual)
+    run = GreedyAbsTree(root_coefficients, include_average=True).run_to_exhaustion()
+    step, error = run.best_cut(budget)
+    retained = {r.node: r.value for r in run.removals[step:]}
+    return retained, float(error)
 
 
 def d_greedy_abs(

@@ -29,7 +29,7 @@ communication per layer is exactly Eq. 5 — ``|Layer_i|`` rows of
 from __future__ import annotations
 
 from collections.abc import Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -49,15 +49,22 @@ from repro.algos.minhaarspace import (
 )
 from repro.exceptions import InfeasibleErrorBound, InvalidInputError
 from repro.mapreduce.cluster import SimulatedCluster
-from repro.mapreduce.hdfs import InputSplit, aligned_splits
+from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.job import MapReduceJob
-from repro.core.partitioning import Layer, LayerPlan, local_to_global, parse_layer_plan
+from repro.core.partitioning import (
+    Layer,
+    LayerPlan,
+    dirty_subtrees,
+    local_to_global,
+    parse_layer_plan,
+)
 from repro.wavelet.synopsis import WaveletSynopsis
 from repro.wavelet.transform import is_power_of_two
 
 __all__ = [
     "RowDP",
     "MinHaarSpaceDP",
+    "DPRowCache",
     "LayeredDPDriver",
     "dm_haar_space",
     "resolve_layer_plan",
@@ -184,6 +191,31 @@ class _BottomUpResult:
     overall_average: float
 
 
+@dataclass
+class DPRowCache:
+    """Per-sub-tree DP state retained across incremental rebuilds.
+
+    ``rows`` is the driver-side row store keyed ``(layer index, sub-tree
+    root)`` — the same mapping :meth:`LayeredDPDriver.bottom_up` has
+    always filled; ``emits`` keeps each sub-tree's upward emission (its
+    root M-row and leaf average) under the same key.  Both are pure
+    functions of the sub-tree's data and the DP parameters, so a cached
+    entry is bit-identical to what a from-scratch run would recompute —
+    the exactness argument of the serving layer's incremental rebuild
+    (docs/SERVING.md).  Entries for sub-trees marked dirty are simply
+    overwritten; the cache never needs explicit invalidation beyond
+    :meth:`clear` on a full reset (e.g. when ``N`` grows).
+    """
+
+    rows: dict[tuple[int, int], list[MRow | None]] = field(default_factory=dict)
+    emits: dict[tuple[int, int], tuple[MRow, float]] = field(default_factory=dict)
+
+    def clear(self) -> None:
+        """Drop all cached state (the next build recomputes everything)."""
+        self.rows.clear()
+        self.emits.clear()
+
+
 class _BottomUpLayerJob(MapReduceJob):
     """One stage of Algorithm 1: run the DP over each sub-tree in parallel.
 
@@ -300,48 +332,75 @@ class LayeredDPDriver:
         height = min(self.subtree_leaves.bit_length() - 1, n.bit_length() - 1)
         return LayerPlan.uniform(n, height)
 
-    def bottom_up(self, data: np.ndarray) -> _BottomUpResult:
-        """Algorithm 1: compute every sub-tree's rows, return the top row."""
-        n = int(data.shape[0])
+    def bottom_up(
+        self,
+        data: np.ndarray,
+        cache: DPRowCache | None = None,
+        dirty_range: tuple[int, int] | None = None,
+    ) -> _BottomUpResult:
+        """Algorithm 1: compute every sub-tree's rows, return the top row.
+
+        ``cache`` carries per-sub-tree state across calls (the serving
+        layer's incremental rebuild); ``dirty_range`` restricts the work
+        to the sub-trees overlapping the half-open leaf range — every
+        other sub-tree's rows and upward emission are read from the
+        cache, which must then hold a complete prior build of the same
+        plan and DP parameters.  Without either argument the behavior is
+        the classic full build (and bit-identical to it in every mode:
+        cached entries are pure functions of sub-tree data).
+        """
+        values = np.asarray(data, dtype=np.float64)
+        n = int(values.shape[0])
         plan = self._plan(n)
         self.cluster.log.meta["layer_plan"] = plan.describe()
         layers = plan.layers()
-        row_store: dict[tuple[int, int], list] = {}
+        if cache is None:
+            cache = DPRowCache()
+        row_store = cache.rows
+        if dirty_range is None:
+            dirty_layers = [layer.subtrees for layer in layers]
+        else:
+            dirty_layers = dirty_subtrees(plan, dirty_range[0], dirty_range[1])
 
-        splits: list[InputSplit] = []
         bottom = layers[0]
-        for spec, split in zip(bottom.subtrees, aligned_splits(data, bottom.subtrees[0].leaf_count)):
-            split.meta["spec"] = spec
-            splits.append(split)
+        leaf_count = bottom.subtrees[0].leaf_count
+        splits: list[InputSplit] = []
+        for i, spec in enumerate(dirty_layers[0]):
+            start = (spec.root - (1 << (spec.root.bit_length() - 1))) * leaf_count
+            splits.append(
+                InputSplit(
+                    split_id=i,
+                    offset=start,
+                    values=values[start : start + leaf_count],
+                    meta={"spec": spec},
+                )
+            )
 
-        result = None
         for layer in layers:
             if not plan.is_distributed(layer.index):
-                assert result is not None  # driver_top implies a band below
-                return self._driver_bottom_up(layer, result.output, row_store)
+                return self._driver_bottom_up(layer, cache)
             if layer.is_top:
                 parent_leaf_count = 1
             else:
                 parent_leaf_count = layers[layer.index + 1].subtrees[0].leaf_count
             job = _BottomUpLayerJob(self.dp, layer, row_store, parent_leaf_count)
             result = self.cluster.run_job(job, splits)
+            for _parent, (child_root, row, average) in result.output:
+                cache.emits[(layer.index, child_root)] = (row, average)
             if layer.is_top:
-                (_, (_, top_row, overall_average)) = result.output[0]
+                top_row, overall_average = cache.emits[(layer.index, layer.subtrees[0].root)]
                 return _BottomUpResult(
                     top_row=top_row, row_store=row_store, overall_average=overall_average
                 )
             next_layer = layers[layer.index + 1]
             if not plan.is_distributed(next_layer.index):
-                # The driver-resident band consumes the raw job output.
+                # The driver-resident band reads the cached emissions.
                 continue
-            # Regroup emitted rows under the next layer's sub-trees.
-            grouped: dict[int, dict[int, tuple]] = {spec.root: {} for spec in next_layer.subtrees}
-            for parent, (child_root, row, average) in result.output:
-                grouped[parent][child_root] = (row, average)
+            # Regroup emitted rows under the next layer's dirty sub-trees
+            # (clean children come from the cache's prior emissions).
             splits = []
-            for i, spec in enumerate(next_layer.subtrees):
-                children = grouped[spec.root]
-                ordered = [children[root] for root in spec.child_roots()]
+            for i, spec in enumerate(dirty_layers[next_layer.index]):
+                ordered = [cache.emits[(layer.index, root)] for root in spec.child_roots()]
                 splits.append(
                     InputSplit(
                         split_id=i,
@@ -356,28 +415,20 @@ class LayeredDPDriver:
                 )
         raise AssertionError("a layer plan always terminates in a top band")
 
-    def _driver_bottom_up(
-        self,
-        layer: Layer,
-        child_output: list[tuple[Any, Any]],
-        row_store: dict[tuple[int, int], list],
-    ) -> _BottomUpResult:
+    def _driver_bottom_up(self, layer: Layer, cache: DPRowCache) -> _BottomUpResult:
         """Run the driver-resident top band: same DP call, no MapReduce round."""
         spec = layer.subtrees[0]
-        children: dict[int, tuple[MRow, float]] = {}
-        for _parent, (child_root, row, average) in child_output:
-            children[child_root] = (row, average)
-        ordered = [children[root] for root in spec.child_roots()]
+        ordered = [cache.emits[(layer.index - 1, root)] for root in spec.child_roots()]
         child_rows = [row for row, _ in ordered]
         child_values = np.asarray([average for _, average in ordered], dtype=np.float64)
         with self.cluster.driver():
             rows = self.dp.subtree_rows(child_rows, child_values)
-        row_store[(layer.index, spec.root)] = rows
+        cache.rows[(layer.index, spec.root)] = rows
         top_row = rows[1] if len(rows) > 1 else rows[0]
         assert top_row is not None
         return _BottomUpResult(
             top_row=top_row,
-            row_store=row_store,
+            row_store=cache.rows,
             overall_average=float(np.mean(child_values)),
         )
 

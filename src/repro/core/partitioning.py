@@ -39,6 +39,8 @@ __all__ = [
     "root_base_partition",
     "local_to_global",
     "global_subtree_coefficients",
+    "dirty_subtrees",
+    "dirty_base_range",
 ]
 
 
@@ -254,6 +256,50 @@ def root_base_partition(n: int, base_leaf_count: int) -> tuple[int, list[Subtree
         for j in range(root_size)
     ]
     return root_size, bases
+
+
+def dirty_subtrees(plan: LayerPlan, lo: int, hi: int) -> list[tuple[SubtreeSpec, ...]]:
+    """Per-layer sub-trees whose DP state depends on data in ``[lo, hi)``.
+
+    The serving layer calls this when an append touches the leaf range
+    ``[lo, hi)``: only these sub-trees' rows must be recomputed; every
+    other sub-tree's cached bottom-up output is still exact.  Returned
+    bottom-up, aligned with :meth:`LayerPlan.layers`.  Because each
+    band's sub-trees at roots level ``u`` own the contiguous dyadic leaf
+    ranges of width ``N / 2^u``, the dirty set of every layer is a
+    contiguous slice — and dirty ranges nest upward (a parent band's
+    slice covers its children's), which is what makes the incremental
+    re-merge a pure replay of the affected spine.
+    """
+    if not 0 <= lo < hi <= plan.n:
+        raise InvalidInputError(
+            f"dirty leaf range [{lo}, {hi}) out of bounds for N={plan.n}"
+        )
+    dirty: list[tuple[SubtreeSpec, ...]] = []
+    for layer in plan.layers():
+        roots_level = layer.subtrees[0].root.bit_length() - 1
+        span = plan.n >> roots_level
+        first = lo // span
+        last = (hi - 1) // span
+        dirty.append(layer.subtrees[first : last + 1])
+    return dirty
+
+
+def dirty_base_range(n: int, base_leaf_count: int, lo: int, hi: int) -> tuple[int, int]:
+    """Base sub-tree indices of :func:`root_base_partition` touched by ``[lo, hi)``.
+
+    Returns the half-open index range ``[first, last)`` into the
+    partition's base list — the greedy tier's analogue of
+    :func:`dirty_subtrees` (the root sub-tree is always dirty: every
+    base average feeds it).
+    """
+    if not 0 <= lo < hi <= n:
+        raise InvalidInputError(f"dirty leaf range [{lo}, {hi}) out of bounds for N={n}")
+    if base_leaf_count < 1 or n % base_leaf_count:
+        raise InvalidInputError(
+            f"base leaf count {base_leaf_count} does not tile N={n}"
+        )
+    return lo // base_leaf_count, (hi - 1) // base_leaf_count + 1
 
 
 def local_to_global(subtree_root: int, local_node: int) -> int:

@@ -31,7 +31,7 @@ from repro.mapreduce.hdfs import FileDataset
 from repro.wavelet.metrics import DEFAULT_SANITY_BOUND
 from repro.wavelet.synopsis import WaveletSynopsis
 
-__all__ = ["ALGORITHMS", "build_synopsis"]
+__all__ = ["ALGORITHMS", "build_synopsis", "serving_error_target"]
 
 #: Algorithm registry: name -> (metric, distributed?).
 ALGORITHMS = {
@@ -49,6 +49,28 @@ ALGORITHMS = {
     "send-coef": ("l2", True),
     "h-wtopk": ("l2", True),
 }
+
+
+def serving_error_target(
+    data: ArrayLike,
+    budget: int,
+    delta: float = 1.0,
+    rho: float = 0.0,
+    dp_kernel: str = "auto",
+) -> float:
+    """Derive the max-abs error target a serving DP series pins for ``budget``.
+
+    The serving layer's incremental DP rebuild is only an exact replay
+    when ``epsilon`` is held fixed across appends (re-running the
+    IndirectHaar search after each append would re-probe different
+    epsilons and invalidate every cached M-row).  This runs the
+    centralized search once at registration time and returns the winning
+    probe's epsilon; the degenerate case where the conventional synopsis
+    is already exact falls back to ``delta`` (always feasible there).
+    """
+    values = pad_to_power_of_two(np.asarray(data, dtype=np.float64))
+    synopsis = indirect_haar(values, budget, delta, rho=rho, kernel=dp_kernel)
+    return float(synopsis.meta.get("epsilon", delta))
 
 
 def build_synopsis(

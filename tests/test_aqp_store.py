@@ -2,9 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.aqp import SynopsisStore
 from repro.exceptions import InvalidInputError, ReproError
+from repro.wavelet.synopsis import WaveletSynopsis
+from repro.wavelet.synopsis2d import greedy_abs_2d
 
 
 @pytest.fixture
@@ -73,6 +77,49 @@ class TestQueries:
         with pytest.raises(InvalidInputError):
             store.range_sum("wind", 50, 40)
 
+    def test_clip_edge_cases(self, store):
+        # Inverted range (even in-bounds endpoints).
+        with pytest.raises(InvalidInputError, match="empty range"):
+            store.range_avg("trips", 10, 9)
+        # Negative lo.
+        with pytest.raises(InvalidInputError, match="out of bounds"):
+            store.range_sum("trips", -1, 5)
+        # hi exactly at the original length (first padded index).
+        with pytest.raises(InvalidInputError, match="out of bounds"):
+            store.range_sum("wind", 0, 300)
+        # Single-element range at both extremes is fine.
+        assert store.range_sum("wind", 0, 0) == pytest.approx(
+            store.point("wind", 0)
+        )
+        assert store.range_sum("wind", 299, 299) == pytest.approx(
+            store.point("wind", 299)
+        )
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1000).map(float),
+            min_size=2,
+            max_size=120,
+        ),
+        st.data(),
+    )
+    def test_range_sum_bounds_tightness_property(self, data, draw):
+        """Bounds always contain the exact sum and are exactly
+        ``width * guarantee`` wide around the approximate answer."""
+        fresh = SynopsisStore()
+        fresh.add("x", data, budget=8, algorithm="greedy-abs")
+        n = len(data)
+        lo = draw.draw(st.integers(min_value=0, max_value=n - 1))
+        hi = draw.draw(st.integers(min_value=lo, max_value=n - 1))
+        lower, upper = fresh.range_sum_bounds("x", lo, hi)
+        exact = float(np.sum(np.asarray(data)[lo : hi + 1]))
+        assert lower - 1e-6 <= exact <= upper + 1e-6
+        width = (hi - lo + 1) * fresh.guarantee("x")
+        approx = fresh.range_sum("x", lo, hi)
+        assert upper - approx == pytest.approx(width, abs=1e-9)
+        assert approx - lower == pytest.approx(width, abs=1e-9)
+
 
 class TestReportAndPersistence:
     def test_report_rows(self, store):
@@ -91,3 +138,43 @@ class TestReportAndPersistence:
         # Original lengths preserved: bounds checks still apply.
         with pytest.raises(InvalidInputError):
             loaded.point("wind", 300)
+
+    def test_report_for_single_series_and_miss(self, store):
+        (row,) = store.report("wind")
+        assert row["series"] == "wind"
+        # Regression: a miss must raise the available-names ReproError,
+        # never a raw KeyError escaping from the synopsis dict.
+        with pytest.raises(ReproError, match=r"trips") as excinfo:
+            store.report("missing")
+        assert not isinstance(excinfo.value, KeyError)
+        with pytest.raises(ReproError, match=r"available.*wind") as excinfo:
+            store.guarantee("missing")
+        assert not isinstance(excinfo.value, KeyError)
+
+    def test_save_load_roundtrip_with_2d_and_none_length(self, store, tmp_path):
+        rng = np.random.default_rng(4)
+        grid = rng.uniform(0, 10, size=(8, 16))
+        store.register("cube", greedy_abs_2d(grid, budget=24))
+        # original_length=None falls back to the synopsis' own extent.
+        bare = WaveletSynopsis(n=64, coefficients={0: 3.0, 5: -1.0}, meta={})
+        store.register("bare", bare, original_length=None)
+        assert store._lengths["cube"] == 8 * 16
+        assert store._lengths["bare"] == 64
+
+        path = tmp_path / "store.json"
+        store.save(path)
+        loaded = SynopsisStore.load(path)
+        assert loaded.names() == ["bare", "cube", "trips", "wind"]
+        cube = loaded.get("cube")
+        assert cube.shape == (8, 16)
+        assert cube.coefficients == store.get("cube").coefficients
+        assert cube.cell_query(3, 7) == pytest.approx(
+            store.get("cube").cell_query(3, 7)
+        )
+        assert loaded.point("bare", 0) == pytest.approx(store.point("bare", 0))
+        # 1-D helpers refuse the 2-D series instead of misreading it.
+        with pytest.raises(InvalidInputError, match="2-D"):
+            loaded.point("cube", 0)
+        # 2-D series still appear in reports.
+        row = next(r for r in loaded.report() if r["series"] == "cube")
+        assert row["coefficients"] == cube.size
